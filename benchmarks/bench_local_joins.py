@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the local band-join algorithms.
+
+These are conventional pytest-benchmark timings (multiple rounds) comparing
+the per-worker algorithms on a single partition's worth of data — the
+substrate whose relative input/output costs the beta coefficients of the
+running-time model capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import pareto_relation
+from repro.geometry.band import BandCondition
+from repro.local_join.iejoin_local import IEJoinLocal
+from repro.local_join.index_nested_loop import IndexNestedLoopJoin
+from repro.local_join.nested_loop import NestedLoopJoin
+from repro.local_join.sort_band import SortSweepJoin
+
+ALGORITHMS = {
+    "nested-loop": NestedLoopJoin(),
+    "index-nested-loop": IndexNestedLoopJoin(),
+    "sort-sweep": SortSweepJoin(),
+    "iejoin-local": IEJoinLocal(),
+}
+
+
+def _worker_partition(n: int = 4000, dims: int = 2):
+    s = pareto_relation("S", n, dimensions=dims, z=1.5, seed=31)
+    t = pareto_relation("T", n, dimensions=dims, z=1.5, seed=32)
+    condition = BandCondition.symmetric([f"A{i+1}" for i in range(dims)], 0.02)
+    return (
+        s.join_matrix(condition.attributes),
+        t.join_matrix(condition.attributes),
+        condition,
+    )
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_local_join_count_throughput(benchmark, name):
+    s_matrix, t_matrix, condition = _worker_partition()
+    algorithm = ALGORITHMS[name]
+    expected = IndexNestedLoopJoin().count(s_matrix, t_matrix, condition)
+    result = benchmark(algorithm.count, s_matrix, t_matrix, condition)
+    assert result == expected
+
+
+def test_index_nested_loop_scales_with_output(benchmark):
+    s_matrix, t_matrix, _ = _worker_partition(n=6000, dims=1)
+    wide = BandCondition.symmetric(["A1"], 0.05)
+    algorithm = IndexNestedLoopJoin()
+    count = benchmark(algorithm.count, s_matrix, t_matrix, wide)
+    assert count > 0

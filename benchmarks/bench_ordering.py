@@ -1,0 +1,63 @@
+"""Paper Section 5.2 / Figure 8: row-major vs block-style ordering for CSIO.
+
+The ordering of the multidimensional space determines how many candidate
+cells the coarsened join matrix contains: row-major stripes produce a compact
+diagonal, block-style (Z-order) ranges may join with many neighbouring
+blocks, widening the candidate region and hence CSIO's input duplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_scale, write_report
+
+from repro.baselines.csio import build_coarsened_matrix
+from repro.baselines.quantiles import approximate_quantiles, ordering_key
+from repro.experiments.workloads import pareto_workload
+from repro.metrics.report import format_table
+from repro.sampling.input_sampler import draw_input_sample
+from repro.sampling.output_sampler import draw_output_sample
+
+
+def _candidate_statistics(scale: float) -> list[list]:
+    workload = pareto_workload(0.05, dimensions=2, rows_per_input=max(2000, int(50_000 * scale)))
+    s, t, condition = workload.build()
+    rng = np.random.default_rng(11)
+    input_sample = draw_input_sample(s, t, condition, 4096, rng)
+    output_sample = draw_output_sample(s, t, condition, 1024, rng)
+    rows = []
+    for ordering in ("row-major", "block"):
+        keys_s = ordering_key(input_sample.s_values, ordering)
+        keys_t = ordering_key(input_sample.t_values, ordering)
+        granularity = 64
+        s_bounds = approximate_quantiles(keys_s, granularity)
+        t_bounds = approximate_quantiles(keys_t, granularity)
+        matrix = build_coarsened_matrix(
+            input_sample, output_sample, condition, s_bounds, t_bounds, ordering
+        )
+        total_cells = matrix.n_rows * matrix.n_cols
+        rows.append(
+            [
+                ordering,
+                matrix.n_rows,
+                matrix.n_cols,
+                matrix.n_candidate_cells,
+                matrix.n_candidate_cells / total_cells,
+            ]
+        )
+    return rows
+
+
+def test_figure8_ordering_of_multidimensional_space(benchmark):
+    rows = benchmark.pedantic(lambda: _candidate_statistics(bench_scale()), rounds=1, iterations=1)
+    table = format_table(
+        ["ordering", "S ranges", "T ranges", "candidate cells", "density"],
+        rows,
+        title="Figure 8: candidate-cell density under different space orderings",
+    )
+    write_report("figure8_ordering", table)
+    row_major_density = rows[0][4]
+    block_density = rows[1][4]
+    # Row-major ordering must not produce a denser candidate matrix than the
+    # block-style ordering (the paper's reason for selecting row-major).
+    assert row_major_density <= block_density * 1.05

@@ -1,0 +1,24 @@
+"""Paper Table 16: PTF celestial matching with RecPart's theoretical termination."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table16
+
+
+def test_table16_ptf_theoretical_termination(benchmark):
+    result = benchmark.pedantic(
+        lambda: table16(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table16", result.format())
+    # RecPart beats 1-Bucket and Grid-eps on both duplication and max worker
+    # input for the arc-second matching workloads.
+    for experiment in result.experiments:
+        recpart = experiment.result_for("RecPart")
+        for method in ("1-Bucket", "Grid-eps"):
+            other = experiment.result_for(method)
+            if other.failed:
+                continue
+            assert recpart.total_input <= other.total_input
+            assert recpart.max_worker_input <= other.max_worker_input * 1.2

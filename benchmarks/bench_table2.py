@@ -1,0 +1,45 @@
+"""Paper Table 2 (a/b/c): impact of band width on every method.
+
+Regenerates the three band-width sweeps of Section 6.2: 1D pareto-1.5,
+3D pareto-1.5 and the 3D ebird-joins-cloud workload, reporting per method the
+optimization time, model-estimated join time, total input ``I`` and the
+most-loaded worker's input/output (``I_m`` / ``O_m``).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table2a, table2b, table2c
+
+
+def test_table2a_band_width_1d(benchmark):
+    """Table 2a: pareto-1.5, d=1, varying band width."""
+    result = benchmark.pedantic(
+        lambda: table2a(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table2a", result.format())
+    assert len(result.experiments) == 4
+
+
+def test_table2b_band_width_3d(benchmark):
+    """Table 2b: pareto-1.5, d=3, varying band width."""
+    result = benchmark.pedantic(
+        lambda: table2b(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table2b", result.format())
+    # Headline claim of the table: RecPart-S ships the least input in every row.
+    for experiment in result.experiments:
+        recpart = experiment.result_for("RecPart-S")
+        for other in experiment.successful():
+            if other.method != "RecPart-S":
+                assert recpart.total_input <= other.total_input * 1.05
+
+
+def test_table2c_band_width_ebird_cloud(benchmark):
+    """Table 2c: ebird joins cloud, d=3, varying band width."""
+    result = benchmark.pedantic(
+        lambda: table2c(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table2c", result.format())
+    assert len(result.experiments) == 4

@@ -1,0 +1,21 @@
+"""Paper Table 3: skew resistance (pareto-z, z = 0.5 ... 2.0, d = 3)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table3
+
+
+def test_table3_skew_resistance(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table3", result.format())
+    # RecPart-S keeps duplication far below the grid-style baselines on every
+    # skew level (the blue-vs-red contrast of the paper's table).
+    for experiment in result.experiments:
+        recpart = experiment.result_for("RecPart-S")
+        grid = experiment.result_for("Grid-eps")
+        if not grid.failed:
+            assert recpart.duplication_overhead < grid.duplication_overhead

@@ -1,0 +1,60 @@
+"""Paper Table 4 (a-d): scalability experiments.
+
+4a/4b scale input size and worker count together (3D pareto and ebird-cloud);
+4c/4d use the 8-dimensional band-join to probe dimensionalities beyond what
+is common today, varying input size (4c) and worker count (4d).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table4a, table4b, table4c, table4d
+
+
+def test_table4a_scale_input_and_workers_pareto(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4a(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table4a", result.format())
+    # Near-perfect scalability: RecPart-S's max worker input stays roughly flat
+    # when input and workers grow together (within sampling noise).
+    recpart = result.method_results("RecPart-S")
+    assert recpart[0].max_worker_input > 0
+    assert recpart[-1].max_worker_input < 4 * recpart[0].max_worker_input
+
+
+def test_table4b_scale_input_and_workers_ebird(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4b(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table4b", result.format())
+    assert len(result.experiments) == 3
+
+
+def test_table4c_8d_varying_input(benchmark):
+    # The 8D workloads are the heaviest of the suite; run them a notch smaller.
+    result = benchmark.pedantic(
+        lambda: table4c(scale=bench_scale() * 0.5, verify=bench_verify()),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("table4c", result.format())
+    # Grid-eps must degrade (explode or fail) at d = 8 while RecPart still works.
+    for experiment in result.experiments:
+        recpart = experiment.result_for("RecPart")
+        assert not recpart.failed
+        grid = experiment.result_for("Grid-eps")
+        assert grid.failed or grid.total_input > 3 * recpart.total_input
+
+
+def test_table4d_8d_varying_workers(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4d(scale=bench_scale() * 0.5, verify=bench_verify()),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("table4d", result.format())
+    recpart = result.method_results("RecPart")
+    # More workers => the most loaded worker receives less input.
+    assert recpart[-1].max_worker_input <= recpart[0].max_worker_input

@@ -1,0 +1,24 @@
+"""Paper Table 5: the effect of grid size on Grid-eps, and the Grid* search."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table5
+
+
+def test_table5_grid_size_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: table5(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table5", result.format())
+    rows = {row[0]: row for row in result.custom_rows}
+    fine = rows.get("Grid (cell = 1 x eps)")
+    coarse = rows.get("Grid (cell = 32 x eps)")
+    # Coarsening the grid reduces total input (the I column of the paper's table).
+    if fine and coarse and fine[1] is not None and coarse[1] is not None:
+        assert coarse[1] < fine[1]
+    # Grid* must not be worse than the default eps-sized grid on total input.
+    grid_star = rows.get("Grid*")
+    if fine and grid_star and fine[1] is not None:
+        assert grid_star[1] <= fine[1]

@@ -1,0 +1,26 @@
+"""Paper Table 6: Grid* vs RecPart on skewed and anti-correlated (reverse-Pareto) data."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table6
+
+
+def test_table6_grid_star_vs_recpart(benchmark):
+    result = benchmark.pedantic(
+        lambda: table6(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table6", result.format())
+    # On the reverse-Pareto workloads Grid* suffers from Lemma-2-style dense
+    # regions while RecPart stays near the lower bound on max worker input.
+    reverse_experiments = [
+        e for e in result.experiments if e.workload.dataset == "rv-pareto"
+    ]
+    assert reverse_experiments, "table 6 must include reverse-Pareto workloads"
+    for experiment in reverse_experiments:
+        recpart = experiment.result_for("RecPart")
+        grid_star = experiment.result_for("Grid*")
+        if recpart.failed or grid_star.failed:
+            continue
+        assert recpart.max_worker_input <= grid_star.max_worker_input

@@ -1,0 +1,26 @@
+"""Paper Tables 8 and 13: impact of the shuffle-vs-local-cost ratio (beta2/beta1).
+
+RecPart re-optimises its partitioning for every cost-model shape, trading a
+little extra duplication for lower max worker load as local processing gets
+more expensive; the competitors ignore the ratio by design.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_verify, write_report
+
+from repro.experiments.tables import table8
+
+
+def test_table8_beta_ratio_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: table8(scale=bench_scale(), verify=bench_verify()), rounds=1, iterations=1
+    )
+    write_report("table8_table13", result.format())
+    rows = result.custom_rows
+    assert len(rows) >= 3
+    # As beta2/beta1 grows, RecPart's local overhead (4*I_m + O_m) must not grow:
+    # the optimizer shifts effort toward balancing the local work.
+    first_local = rows[0][2]
+    last_local = rows[-1][2]
+    assert last_local <= first_local * 1.1

@@ -1,0 +1,63 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper's evaluation
+section.  The benchmarks run each experiment exactly once (``pedantic`` with
+a single round — the experiments are deterministic and far too large for
+statistical repetition) and write the resulting table text to
+``benchmarks/reports/`` in addition to printing it.
+
+Environment knobs
+-----------------
+REPRO_BENCH_SCALE
+    Input-size scale factor relative to the default workloads (50,000 tuples
+    per input).  Defaults to 0.3 so the full suite finishes in tens of
+    minutes; set to 1.0 for the full-size run.
+REPRO_BENCH_VERIFY
+    Set to ``count`` or ``pairs`` to re-verify every distributed result
+    against a single-machine join during the benchmarks (off by default; the
+    test suite already covers correctness).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Directory that receives the rendered table reports.
+REPORTS_DIR = Path(__file__).resolve().parent / "reports"
+
+
+def bench_scale(default: float | None = None) -> float:
+    """Return the benchmark scale factor (see module docstring)."""
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    if value is None:
+        return default if default is not None else 0.3
+    return float(value)
+
+
+def bench_verify() -> str:
+    """Return the verification mode used by the benchmarks."""
+    return os.environ.get("REPRO_BENCH_VERIFY", "none")
+
+
+def write_report(name: str, text: str) -> Path:
+    """Write one rendered table to the reports directory and echo it."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture
+def reports() -> Path:
+    """Fixture exposing the reports directory."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    return REPORTS_DIR

@@ -1,0 +1,71 @@
+"""Astronomy use case: matching repeat observations of celestial objects.
+
+The paper's appendix evaluates RecPart on the Palomar Transient Factory
+catalogue: find pairs of observations within 1-3 arc seconds of each other in
+(right ascension, declination) — a 2D band-join whose "hot spots" are the
+survey fields the telescope revisits.  This example reproduces that scenario
+with the synthetic sky-survey generator, uses the *theoretical* termination
+condition (no cost model needed) and shows how the symmetric-split extension
+behaves compared to RecPart-S.
+
+Run with:  python examples/astronomy_self_match.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.config import RecPartConfig
+
+ARCSECOND = 2.78e-4  # degrees
+
+
+def main() -> None:
+    # One observation catalogue split in half: both halves observe the same
+    # underlying sources, so the band-join finds repeat observations.
+    catalogue = repro.ptf_objects_like(60_000, seed=7)
+    order = np.random.default_rng(0).permutation(len(catalogue))
+    s = catalogue.take(order[: len(catalogue) // 2], name="ptf_epoch1")
+    t = catalogue.take(order[len(catalogue) // 2 :], name="ptf_epoch2")
+    condition = repro.BandCondition.symmetric(["ra", "dec"], 3 * ARCSECOND)
+    workers = 8
+    print(f"matching {len(s):,} vs {len(t):,} observations within 3 arc seconds, w = {workers}\n")
+
+    executor = repro.DistributedBandJoinExecutor()
+    bounds = None
+    for label, partitioner in (
+        (
+            "RecPart (theoretical termination)",
+            repro.RecPartPartitioner(config=RecPartConfig(termination="theoretical")),
+        ),
+        (
+            "RecPart-S (T always duplicated)",
+            repro.RecPartSPartitioner(config=RecPartConfig(termination="theoretical")),
+        ),
+        ("1-Bucket", repro.OneBucketPartitioner()),
+        ("Grid-eps", repro.GridEpsilonPartitioner()),
+    ):
+        partitioning = partitioner.partition(s, t, condition, workers=workers)
+        result = executor.execute(s, t, condition, partitioning, verify="count")
+        if bounds is None:
+            bounds = repro.compute_lower_bounds(
+                s, t, condition, workers, output_size=result.total_output
+            )
+        print(
+            f"{label:36s} opt {partitioning.stats.optimization_seconds:6.2f}s  "
+            f"I {result.total_input:8,}  I_m {result.max_worker_input:7,}  "
+            f"O_m {result.max_worker_output:7,}  "
+            f"dup {bounds.input_overhead(result.total_input):7.1%}  "
+            f"load overhead {bounds.load_overhead(result.max_worker_load):7.1%}"
+        )
+
+    print(
+        "\nRecPart finds arc-second-scale partitions around the survey's dense fields "
+        "without replicating the catalogue, which is exactly the behaviour Table 16 of "
+        "the paper reports for the real PTF data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Compare every partitioning method on the paper's motivating workload.
+
+The introduction of the paper motivates band-joins with spatio-temporal
+matching: linking bird observations with weather reports for "nearby" time
+and location (Example 1).  This example builds that workload from the
+synthetic ebird-like and cloud-report-like generators, runs RecPart and every
+baseline (CSIO, 1-Bucket, Grid-eps, Grid*, distributed IEJoin) and prints the
+comparison table, including how far each method lands from the lower bounds.
+
+Run with:  python examples/compare_partitioners.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.experiments.runner import default_partitioners, run_workload
+from repro.experiments.workloads import ebird_cloud_workload
+
+
+def main() -> None:
+    # |B.time - W.time| <= 2 days, |B.latitude - W.latitude| <= 2 degrees,
+    # |B.longitude - W.longitude| <= 2 degrees  (Example 1 of the paper,
+    # band widths re-scaled to the synthetic data).
+    workload = ebird_cloud_workload(2.0, rows_per_input=30_000, workers=8)
+    print(f"workload: {workload.description}")
+    print(f"inputs: 2 x {workload.rows_per_input:,} tuples, {workload.workers} workers\n")
+
+    partitioners = default_partitioners(
+        include_recpart_symmetric=True, include_grid_star=True, include_iejoin=True
+    )
+    experiment = run_workload(workload, partitioners=partitioners, verify="count")
+    print(experiment.format())
+
+    best = experiment.best_method()
+    print(
+        f"\nfastest method (optimization + estimated join time): {best.method} "
+        f"with {best.duplication_overhead:.1%} input duplication and "
+        f"{best.load_overhead:.1%} max-worker-load overhead"
+    )
+
+    print("\nFigure-4-style points (duplication overhead, load overhead):")
+    for point in experiment.overhead_points():
+        marker = "  <= within 10% of both lower bounds" if point.within_ten_percent else ""
+        print(
+            f"  {point.method:12s} ({point.duplication_overhead:8.3f}, "
+            f"{point.load_overhead:8.3f}){marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

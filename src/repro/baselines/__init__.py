@@ -1,0 +1,35 @@
+"""Baseline distributed band-join partitioners the paper compares against.
+
+* :class:`OneBucketPartitioner` — random join-matrix cover (Okcan &
+  Riedewald), near-optimal for Cartesian products, duplicates input ~sqrt(w)x.
+* :class:`GridEpsilonPartitioner` — attribute-space grid with cell size equal
+  to the band width (Soloviev / DeWitt et al.).
+* :class:`GridStarPartitioner` — the paper's Grid* extension that searches
+  coarser grid sizes with the running-time model.
+* :class:`CSIOPartitioner` — quantile range-partitioning + coarsened
+  join-matrix covering with input *and* output statistics (Vitorovic et al.).
+* :class:`IEJoinPartitioner` — the quantile block partitioning used by
+  distributed IEJoin (Khayyat et al.).
+"""
+
+from repro.baselines.one_bucket import OneBucketPartitioner, OneBucketPartitioning
+from repro.baselines.grid import GridEpsilonPartitioner, GridPartitioning
+from repro.baselines.grid_star import GridStarPartitioner
+from repro.baselines.csio import CSIOPartitioner, CSIOPartitioning
+from repro.baselines.iejoin import IEJoinPartitioner, IEJoinPartitioning
+from repro.baselines.quantiles import approximate_quantiles, row_major_key, morton_key
+
+__all__ = [
+    "OneBucketPartitioner",
+    "OneBucketPartitioning",
+    "GridEpsilonPartitioner",
+    "GridPartitioning",
+    "GridStarPartitioner",
+    "CSIOPartitioner",
+    "CSIOPartitioning",
+    "IEJoinPartitioner",
+    "IEJoinPartitioning",
+    "approximate_quantiles",
+    "row_major_key",
+    "morton_key",
+]

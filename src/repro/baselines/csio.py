@@ -1,0 +1,321 @@
+"""CSIO: quantile range-partitioning plus coarsened join-matrix covering.
+
+CSIO (Vitorovic et al., ICDE 2016, "Load balancing and skew resilience for
+parallel joins") is the state-of-the-art distributed theta-join optimizer the
+paper compares against.  Its pipeline:
+
+1. range-partition S and T with approximate quantiles under a total order of
+   the join-attribute space (the paper selects row-major order, Section 5.2),
+2. coarsen the resulting join matrix and annotate it with input statistics
+   and a *sampled output* distribution,
+3. find a covering of the candidate cells with at most ``w`` rectangles that
+   minimises the maximum rectangle load; each rectangle becomes one worker's
+   partition.
+
+The original covering uses an expensive tiling algorithm (O(n^5 log n)); this
+reimplementation keeps steps 1-2 faithful and replaces the tiling with the
+structured covering search of :mod:`repro.baselines.matrix_cover` (contiguous
+row groups x load-balanced column intervals), which preserves CSIO's
+qualitative behaviour — good load balance thanks to output statistics, but
+input duplication that grows once the candidate region widens (higher
+dimensionality or block-style ordering).  The substitution is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.matrix_cover import CoarsenedMatrix, RectangleCover, cover_matrix
+from repro.baselines.quantiles import approximate_quantiles, assign_ranges, ordering_key
+from repro.config import DEFAULT_SAMPLE_SIZE, DEFAULT_SEED, LoadWeights
+from repro.core.partitioner import (
+    JoinPartitioning,
+    Partitioner,
+    PartitioningStats,
+    validate_side,
+)
+from repro.data.relation import Relation
+from repro.exceptions import PartitioningError
+from repro.geometry.band import BandCondition
+from repro.sampling.input_sampler import InputSample, draw_input_sample
+from repro.sampling.output_sampler import OutputSample, draw_output_sample
+
+
+def build_coarsened_matrix(
+    input_sample: InputSample,
+    output_sample: OutputSample,
+    condition: BandCondition,
+    s_boundaries: np.ndarray,
+    t_boundaries: np.ndarray,
+    ordering: str,
+) -> CoarsenedMatrix:
+    """Build the coarsened join matrix from the samples.
+
+    Candidate cells are found geometrically: per-range bounding boxes (from
+    the sample) must be within band width of each other in every dimension.
+    Cells containing sampled output pairs are always candidates.
+    """
+    n_rows = s_boundaries.size + 1
+    n_cols = t_boundaries.size + 1
+    s_keys = ordering_key(input_sample.s_values, ordering)
+    t_keys = ordering_key(input_sample.t_values, ordering)
+    s_ranges = assign_ranges(s_keys, s_boundaries)
+    t_ranges = assign_ranges(t_keys, t_boundaries)
+
+    s_row_input = np.bincount(s_ranges, minlength=n_rows).astype(float) * input_sample.s_scale
+    t_col_input = np.bincount(t_ranges, minlength=n_cols).astype(float) * input_sample.t_scale
+
+    epsilons = condition.epsilons
+    if ordering == "row-major":
+        # Exact, conservative candidacy from the range key intervals: under
+        # row-major order the key is the first join attribute, so cell (i, j)
+        # can only contain joining pairs when the two key intervals are within
+        # the band width of the primary dimension of each other.
+        candidate = _interval_candidates(s_boundaries, t_boundaries, float(epsilons[0]))
+    else:
+        # Block-style (Z-order) ranges carry no simple per-dimension interval,
+        # so candidacy falls back to sample bounding boxes per range.  This is
+        # approximate and only used by the ordering study (paper Figure 8).
+        d = condition.dimensionality
+        s_boxes = _range_bounding_boxes(input_sample.s_values, s_ranges, n_rows, d)
+        t_boxes = _range_bounding_boxes(input_sample.t_values, t_ranges, n_cols, d)
+        candidate = np.zeros((n_rows, n_cols), dtype=bool)
+        for row in range(n_rows):
+            s_lo, s_hi = s_boxes[row]
+            if not np.all(np.isfinite(s_lo)):
+                continue
+            for col in range(n_cols):
+                t_lo, t_hi = t_boxes[col]
+                if not np.all(np.isfinite(t_lo)):
+                    continue
+                # Boxes can contain joining pairs iff within eps per dimension.
+                if np.all((s_lo - epsilons) <= t_hi) and np.all(t_lo <= (s_hi + epsilons)):
+                    candidate[row, col] = True
+
+    cell_output = np.zeros((n_rows, n_cols), dtype=float)
+    if len(output_sample):
+        out_s_keys = ordering_key(output_sample.s_coords, ordering)
+        out_t_keys = ordering_key(output_sample.t_coords, ordering)
+        out_rows = assign_ranges(out_s_keys, s_boundaries)
+        out_cols = assign_ranges(out_t_keys, t_boundaries)
+        np.add.at(cell_output, (out_rows, out_cols), output_sample.pair_scale)
+        candidate[out_rows, out_cols] = True
+
+    return CoarsenedMatrix(
+        s_row_input=s_row_input,
+        t_col_input=t_col_input,
+        cell_output=cell_output,
+        candidate=candidate,
+    )
+
+
+def _interval_candidates(
+    s_boundaries: np.ndarray, t_boundaries: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """Return the conservative candidate mask for row-major ordering.
+
+    Range ``i`` of a side covers the half-open key interval
+    ``[boundaries[i-1], boundaries[i])`` with infinite sentinels at the ends.
+    Cell ``(i, j)`` is a candidate iff the S interval and the T interval are
+    within ``epsilon`` of each other, i.e. some pair of keys drawn from the two
+    intervals can satisfy the primary band predicate.
+    """
+    s_lo = np.concatenate([[-np.inf], s_boundaries])
+    s_hi = np.concatenate([s_boundaries, [np.inf]])
+    t_lo = np.concatenate([[-np.inf], t_boundaries])
+    t_hi = np.concatenate([t_boundaries, [np.inf]])
+    # Intervals are half-open, but using closed-interval logic only adds
+    # candidates (stays conservative).
+    return (s_lo[:, None] - epsilon <= t_hi[None, :]) & (t_lo[None, :] - epsilon <= s_hi[:, None])
+
+
+def _range_bounding_boxes(
+    values: np.ndarray, ranges: np.ndarray, n_ranges: int, d: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return per-range (min, max) bounding boxes of the sampled tuples."""
+    boxes: list[tuple[np.ndarray, np.ndarray]] = []
+    for r in range(n_ranges):
+        mask = ranges == r
+        if not np.any(mask):
+            boxes.append((np.full(d, np.inf), np.full(d, -np.inf)))
+            continue
+        subset = values[mask]
+        boxes.append((subset.min(axis=0), subset.max(axis=0)))
+    return boxes
+
+
+class CSIOPartitioning(JoinPartitioning):
+    """Executable CSIO partitioning: one unit per covering rectangle."""
+
+    def __init__(
+        self,
+        condition: BandCondition,
+        ordering: str,
+        s_boundaries: np.ndarray,
+        t_boundaries: np.ndarray,
+        cover: RectangleCover,
+        workers: int,
+        stats: PartitioningStats | None = None,
+        method: str = "CSIO",
+    ) -> None:
+        if cover.n_rectangles == 0:
+            raise PartitioningError("CSIO cover must contain at least one rectangle")
+        super().__init__(method, workers, cover.n_rectangles, stats)
+        self._condition = condition
+        self._ordering = ordering
+        self._s_boundaries = s_boundaries
+        self._t_boundaries = t_boundaries
+        self._cover = cover
+
+    def unit_workers(self) -> np.ndarray:
+        # One rectangle per worker (|rectangles| <= w by construction).
+        return np.arange(self.n_units, dtype=np.int64)
+
+    def route(self, values: np.ndarray, side: str) -> tuple[np.ndarray, np.ndarray]:
+        side = validate_side(side)
+        matrix = np.atleast_2d(np.asarray(values, dtype=float))
+        n = matrix.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        keys = ordering_key(matrix, self._ordering)
+        if side == "S":
+            return self._route_s(keys)
+        return self._route_t(keys)
+
+    def _route_s(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """An S-tuple is shipped to every rectangle of its row group."""
+        ranges = assign_ranges(keys, self._s_boundaries)
+        groups = self._cover.row_group_of_row[ranges]
+        rows_out: list[np.ndarray] = []
+        units_out: list[np.ndarray] = []
+        orphan_mask = np.zeros(keys.size, dtype=bool)
+        for group_index, rect_ids in enumerate(self._cover.groups):
+            members = np.nonzero(groups == group_index)[0]
+            if members.size == 0:
+                continue
+            if not rect_ids:
+                orphan_mask[members] = True
+                continue
+            rows_out.append(np.repeat(members, len(rect_ids)))
+            units_out.append(np.tile(np.asarray(rect_ids, dtype=np.int64), members.size))
+        orphans = np.nonzero(orphan_mask)[0]
+        if orphans.size:
+            # Tuples whose row group has no candidate cells join with nothing;
+            # Definition 1 still requires them to reach some worker.
+            rows_out.append(orphans)
+            units_out.append(np.zeros(orphans.size, dtype=np.int64))
+        return np.concatenate(rows_out), np.concatenate(units_out)
+
+    def _route_t(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """A T-tuple is shipped to (at most) one rectangle per row group — the one
+        whose column interval contains the tuple's T-range."""
+        ranges = assign_ranges(keys, self._t_boundaries)
+        rows_out: list[np.ndarray] = []
+        units_out: list[np.ndarray] = []
+        covered = np.zeros(keys.size, dtype=bool)
+        for rect_ids in self._cover.groups:
+            for rect_id in rect_ids:
+                rect = self._cover.rectangles[rect_id]
+                members = np.nonzero((ranges >= rect.col_start) & (ranges < rect.col_end))[0]
+                if members.size == 0:
+                    continue
+                rows_out.append(members)
+                units_out.append(np.full(members.size, rect_id, dtype=np.int64))
+                covered[members] = True
+        orphans = np.nonzero(~covered)[0]
+        if orphans.size:
+            rows_out.append(orphans)
+            units_out.append(np.zeros(orphans.size, dtype=np.int64))
+        return np.concatenate(rows_out), np.concatenate(units_out)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["rectangles"] = self._cover.n_rectangles
+        info["ordering"] = self._ordering
+        return info
+
+
+class CSIOPartitioner(Partitioner):
+    """Optimization phase of CSIO.
+
+    Parameters
+    ----------
+    granularity:
+        Number of quantile ranges per input (matrix side length).  ``None``
+        uses ``8 * workers`` capped at 256, mirroring CSIO's coarsening of the
+        full quantile histogram.
+    ordering:
+        Total order of the join-attribute space: ``"row-major"`` (paper's
+        choice) or ``"block"`` (Z-order, Figure 8's alternative).
+    sample_size:
+        Input-sample size used to build the coarsened matrix.
+    """
+
+    name = "CSIO"
+
+    def __init__(
+        self,
+        granularity: int | None = None,
+        ordering: str = "row-major",
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        weights: LoadWeights | None = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        super().__init__(weights=weights, seed=seed)
+        if granularity is not None and granularity < 1:
+            raise PartitioningError("granularity must be positive")
+        self.granularity = granularity
+        self.ordering = ordering
+        self.sample_size = sample_size
+
+    def partition(
+        self,
+        s: Relation,
+        t: Relation,
+        condition: BandCondition,
+        workers: int,
+        rng: np.random.Generator | None = None,
+    ) -> CSIOPartitioning:
+        self._validate_inputs(s, t, condition, workers)
+        rng = self._rng(rng)
+        start = time.perf_counter()
+        granularity = self.granularity if self.granularity is not None else min(8 * workers, 256)
+
+        input_sample = draw_input_sample(s, t, condition, self.sample_size, rng)
+        output_sample = draw_output_sample(s, t, condition, max(1, self.sample_size // 2), rng)
+
+        s_keys = ordering_key(input_sample.s_values, self.ordering)
+        t_keys = ordering_key(input_sample.t_values, self.ordering)
+        s_boundaries = approximate_quantiles(s_keys, granularity)
+        t_boundaries = approximate_quantiles(t_keys, granularity)
+
+        matrix = build_coarsened_matrix(
+            input_sample, output_sample, condition, s_boundaries, t_boundaries, self.ordering
+        )
+        cover = cover_matrix(matrix, workers, self.weights)
+        cover.validate_covers(matrix)
+
+        stats = PartitioningStats(
+            optimization_seconds=time.perf_counter() - start,
+            iterations=cover.n_rectangles,
+            estimated_output=output_sample.estimated_output,
+            estimated_max_load=cover.max_load,
+            extra={
+                "granularity": granularity,
+                "candidate_cells": matrix.n_candidate_cells,
+                "rectangles": cover.n_rectangles,
+                "ordering": self.ordering,
+            },
+        )
+        return CSIOPartitioning(
+            condition=condition,
+            ordering=self.ordering,
+            s_boundaries=s_boundaries,
+            t_boundaries=t_boundaries,
+            cover=cover,
+            workers=workers,
+            stats=stats,
+        )

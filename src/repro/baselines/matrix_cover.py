@@ -1,0 +1,275 @@
+"""Coarsened join-matrix statistics and rectangle coverings.
+
+Join-matrix covering methods (CSIO, M-Bucket-I) work on a coarsened version
+of the join matrix ``S x T``: the rows are inter-quantile ranges of S under
+some total order of the join-attribute space, the columns are ranges of T,
+and each cell is annotated with estimated input and output.  A *candidate*
+cell is one that may contain joining pairs and therefore has to be covered by
+some worker's rectangle.
+
+This module provides
+
+* :class:`CoarsenedMatrix` — the statistics object built from samples,
+* :class:`Rectangle` / :class:`RectangleCover` — an axis-aligned, cell-disjoint
+  cover of the candidate cells with at most ``w`` rectangles,
+* :func:`cover_matrix` — the covering search used by the CSIO reimplementation
+  (contiguous row groups, load-balanced column intervals per group; see
+  DESIGN.md for how this relates to the original tiling algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import LoadWeights
+from repro.exceptions import OptimizationError, PartitioningError
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """One covering rectangle: a contiguous block of S-ranges x T-ranges."""
+
+    row_start: int
+    row_end: int  # exclusive
+    col_start: int
+    col_end: int  # exclusive
+    load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.row_start >= self.row_end or self.col_start >= self.col_end:
+            raise PartitioningError("rectangles must span at least one cell")
+
+    @property
+    def n_cells(self) -> int:
+        """Return the number of coarsened cells covered by the rectangle."""
+        return (self.row_end - self.row_start) * (self.col_end - self.col_start)
+
+    def contains_cell(self, row: int, col: int) -> bool:
+        """Return ``True`` when the rectangle covers cell ``(row, col)``."""
+        return self.row_start <= row < self.row_end and self.col_start <= col < self.col_end
+
+
+@dataclass
+class CoarsenedMatrix:
+    """Sampled statistics of the coarsened join matrix.
+
+    Attributes
+    ----------
+    s_row_input / t_col_input:
+        Estimated number of S-tuples per row range / T-tuples per column range.
+    cell_output:
+        Dense ``(rows, cols)`` matrix of estimated output per cell.
+    candidate:
+        Boolean ``(rows, cols)`` mask of cells that may contain joining pairs.
+    """
+
+    s_row_input: np.ndarray
+    t_col_input: np.ndarray
+    cell_output: np.ndarray
+    candidate: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows, cols = self.n_rows, self.n_cols
+        if self.cell_output.shape != (rows, cols) or self.candidate.shape != (rows, cols):
+            raise OptimizationError("cell matrices must be (rows, cols)")
+
+    @property
+    def n_rows(self) -> int:
+        """Return the number of S ranges (matrix rows)."""
+        return int(self.s_row_input.shape[0])
+
+    @property
+    def n_cols(self) -> int:
+        """Return the number of T ranges (matrix columns)."""
+        return int(self.t_col_input.shape[0])
+
+    @property
+    def n_candidate_cells(self) -> int:
+        """Return the number of candidate cells that must be covered."""
+        return int(self.candidate.sum())
+
+    def total_load(self, weights: LoadWeights) -> float:
+        """Return the total load of the matrix (all input once plus all output)."""
+        return weights.load(
+            float(self.s_row_input.sum() + self.t_col_input.sum()),
+            float(self.cell_output.sum()),
+        )
+
+    def rectangle_load(self, rect: Rectangle, weights: LoadWeights) -> float:
+        """Return the load of one rectangle: its rows' S input, columns' T input
+        and covered cells' output."""
+        s_input = float(self.s_row_input[rect.row_start : rect.row_end].sum())
+        t_input = float(self.t_col_input[rect.col_start : rect.col_end].sum())
+        output = float(
+            self.cell_output[rect.row_start : rect.row_end, rect.col_start : rect.col_end].sum()
+        )
+        return weights.load(s_input + t_input, output)
+
+
+@dataclass
+class RectangleCover:
+    """A cell-disjoint cover of the candidate cells by at most ``w`` rectangles."""
+
+    rectangles: list[Rectangle]
+    row_group_of_row: np.ndarray
+    max_load: float
+    groups: list[list[int]] = field(default_factory=list)
+
+    @property
+    def n_rectangles(self) -> int:
+        """Return the number of rectangles in the cover."""
+        return len(self.rectangles)
+
+    def rectangles_of_group(self, group: int) -> list[int]:
+        """Return the rectangle indices belonging to one row group."""
+        return self.groups[group]
+
+    def validate_covers(self, matrix: CoarsenedMatrix) -> None:
+        """Raise :class:`PartitioningError` if any candidate cell is uncovered or
+        covered more than once."""
+        coverage = np.zeros((matrix.n_rows, matrix.n_cols), dtype=int)
+        for rect in self.rectangles:
+            coverage[rect.row_start : rect.row_end, rect.col_start : rect.col_end] += 1
+        if np.any(coverage > 1):
+            raise PartitioningError("rectangle cover overlaps on some cells")
+        uncovered = matrix.candidate & (coverage == 0)
+        if np.any(uncovered):
+            raise PartitioningError(
+                f"{int(uncovered.sum())} candidate cells are not covered by any rectangle"
+            )
+
+
+def _balanced_contiguous_groups(weights_per_row: np.ndarray, n_groups: int) -> list[tuple[int, int]]:
+    """Split rows into ``n_groups`` contiguous groups with roughly equal total weight."""
+    n = weights_per_row.shape[0]
+    n_groups = min(n_groups, n)
+    total = float(weights_per_row.sum())
+    if total <= 0:
+        bounds = np.linspace(0, n, n_groups + 1).astype(int)
+    else:
+        cumulative = np.cumsum(weights_per_row)
+        targets = np.linspace(0, total, n_groups + 1)[1:-1]
+        interior = np.searchsorted(cumulative, targets) + 1
+        bounds = np.concatenate([[0], interior, [n]])
+    bounds = np.unique(np.clip(bounds, 0, n))
+    if bounds[0] != 0:
+        bounds = np.concatenate([[0], bounds])
+    if bounds[-1] != n:
+        bounds = np.concatenate([bounds, [n]])
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(len(bounds) - 1) if bounds[i] < bounds[i + 1]]
+
+
+def _split_column_span(
+    matrix: CoarsenedMatrix,
+    row_start: int,
+    row_end: int,
+    col_start: int,
+    col_end: int,
+    n_parts: int,
+    weights: LoadWeights,
+) -> list[tuple[int, int]]:
+    """Split a column span into ``n_parts`` contiguous intervals balancing T input + output."""
+    span = col_end - col_start
+    n_parts = max(1, min(n_parts, span))
+    col_weights = (
+        weights.beta_input * matrix.t_col_input[col_start:col_end]
+        + weights.beta_output * matrix.cell_output[row_start:row_end, col_start:col_end].sum(axis=0)
+    )
+    groups = _balanced_contiguous_groups(col_weights, n_parts)
+    return [(col_start + lo, col_start + hi) for lo, hi in groups]
+
+
+def cover_matrix(
+    matrix: CoarsenedMatrix, workers: int, weights: LoadWeights
+) -> RectangleCover:
+    """Cover all candidate cells with at most ``workers`` cell-disjoint rectangles.
+
+    The search sweeps the number of contiguous row groups ``G`` from 1 to
+    ``workers``; for each ``G`` the rows are grouped by balanced S input, each
+    group's candidate column span is split into load-balanced column
+    intervals (rectangles), with the per-group rectangle budget allocated
+    proportionally to group load.  The grouping with the smallest maximum
+    rectangle load wins.
+    """
+    if workers < 1:
+        raise OptimizationError("workers must be at least 1")
+    n_rows, n_cols = matrix.n_rows, matrix.n_cols
+    row_load = (
+        weights.beta_input * matrix.s_row_input
+        + weights.beta_output * matrix.cell_output.sum(axis=1)
+    )
+
+    best: RectangleCover | None = None
+    for n_groups in range(1, min(workers, n_rows) + 1):
+        row_groups = _balanced_contiguous_groups(row_load, n_groups)
+        group_loads = np.array(
+            [float(row_load[lo:hi].sum()) for lo, hi in row_groups], dtype=float
+        )
+        budgets = _allocate_budgets(group_loads, workers, len(row_groups))
+
+        rectangles: list[Rectangle] = []
+        groups: list[list[int]] = []
+        row_group_of_row = np.zeros(n_rows, dtype=np.int64)
+        feasible = True
+        for group_index, ((row_lo, row_hi), budget) in enumerate(zip(row_groups, budgets)):
+            row_group_of_row[row_lo:row_hi] = group_index
+            group_candidates = matrix.candidate[row_lo:row_hi]
+            candidate_cols = np.nonzero(group_candidates.any(axis=0))[0]
+            group_rect_ids: list[int] = []
+            if candidate_cols.size == 0:
+                groups.append(group_rect_ids)
+                continue
+            col_lo, col_hi = int(candidate_cols.min()), int(candidate_cols.max()) + 1
+            intervals = _split_column_span(
+                matrix, row_lo, row_hi, col_lo, col_hi, budget, weights
+            )
+            for interval_lo, interval_hi in intervals:
+                rect = Rectangle(row_lo, row_hi, interval_lo, interval_hi)
+                rect = Rectangle(
+                    rect.row_start,
+                    rect.row_end,
+                    rect.col_start,
+                    rect.col_end,
+                    load=matrix.rectangle_load(rect, weights),
+                )
+                group_rect_ids.append(len(rectangles))
+                rectangles.append(rect)
+            groups.append(group_rect_ids)
+        if not rectangles or len(rectangles) > workers:
+            feasible = len(rectangles) <= workers and bool(rectangles)
+            if not feasible:
+                continue
+        max_load = max((r.load for r in rectangles), default=0.0)
+        cover = RectangleCover(
+            rectangles=rectangles,
+            row_group_of_row=row_group_of_row,
+            max_load=max_load,
+            groups=groups,
+        )
+        if best is None or cover.max_load < best.max_load:
+            best = cover
+    if best is None:
+        raise OptimizationError("could not find a feasible rectangle cover")
+    return best
+
+
+def _allocate_budgets(group_loads: np.ndarray, workers: int, n_groups: int) -> list[int]:
+    """Allocate the ``workers`` rectangle budget over row groups proportionally to load."""
+    if n_groups == 0:
+        return []
+    if group_loads.sum() <= 0:
+        shares = np.full(n_groups, workers / n_groups)
+    else:
+        shares = workers * group_loads / group_loads.sum()
+    budgets = np.maximum(1, np.floor(shares).astype(int))
+    # Trim or distribute the remainder while keeping every group at >= 1.
+    while budgets.sum() > workers and np.any(budgets > 1):
+        budgets[int(np.argmax(budgets))] -= 1
+    remainder = workers - int(budgets.sum())
+    if remainder > 0:
+        fractional = shares - np.floor(shares)
+        for idx in np.argsort(-fractional)[:remainder]:
+            budgets[idx] += 1
+    return budgets.tolist()

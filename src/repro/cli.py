@@ -1,0 +1,165 @@
+"""Command-line front end.
+
+Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
+``python -m repro``.  Sub-commands:
+
+* ``demo``       — run one band-join with every partitioner and print the comparison.
+* ``table``      — reproduce one of the paper's tables (e.g. ``table 2b``).
+* ``figure4``    — reproduce the overhead scatter of Figures 4 / 10.
+* ``calibrate``  — calibrate the running-time model on this machine and print it.
+* ``list``       — list the available tables and workload families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import workloads as wl
+from repro.metrics.report import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bandjoin",
+        description=(
+            "Reproduction of 'Near-Optimal Distributed Band-Joins through Recursive "
+            "Partitioning' (SIGMOD 2020)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run one workload with every partitioner")
+    demo.add_argument("--rows", type=int, default=20_000, help="tuples per input relation")
+    demo.add_argument("--workers", type=int, default=8, help="number of simulated workers")
+    demo.add_argument("--dimensions", type=int, default=3, help="join dimensionality")
+    demo.add_argument("--band-width", type=float, default=0.05, help="band width per dimension")
+    demo.add_argument("--skew", type=float, default=1.5, help="Pareto skew parameter z")
+    demo.add_argument("--verify", action="store_true", help="verify against a single-machine join")
+
+    table = subparsers.add_parser("table", help="reproduce one paper table")
+    table.add_argument("table_id", help="table identifier, e.g. 2a, 2b, 3, 4c, 5, 7, 9, 12, 15, 16")
+    table.add_argument("--scale", type=float, default=1.0, help="input-size scale factor")
+    table.add_argument("--verify", action="store_true", help="verify against a single-machine join")
+    table.add_argument("--seed", type=int, default=0)
+
+    figure = subparsers.add_parser("figure4", help="reproduce the Figure 4 / 10 overhead scatter")
+    figure.add_argument("--scale", type=float, default=0.5, help="input-size scale factor")
+    figure.add_argument("--csv", type=str, default=None, help="write the points to this CSV file")
+    figure.add_argument("--seed", type=int, default=0)
+
+    calibrate = subparsers.add_parser("calibrate", help="calibrate the running-time model")
+    calibrate.add_argument("--queries", type=int, default=24, help="number of training queries")
+    calibrate.add_argument("--base-input", type=int, default=4000, help="baseline training input size")
+
+    subparsers.add_parser("list", help="list available tables and workloads")
+    return parser
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import default_partitioners, run_workload
+    from repro.experiments.workloads import pareto_workload
+
+    workload = pareto_workload(
+        args.band_width,
+        dimensions=args.dimensions,
+        skew=args.skew,
+        rows_per_input=args.rows,
+        workers=args.workers,
+    )
+    partitioners = default_partitioners(
+        include_recpart_symmetric=True, include_grid_star=True, include_iejoin=True
+    )
+    experiment = run_workload(
+        workload, partitioners=partitioners, verify="count" if args.verify else "none"
+    )
+    print(experiment.format())
+    best = experiment.best_method()
+    print(f"\nfastest method (optimization + estimated join time): {best.method}")
+    return 0
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import ALL_TABLES
+
+    key = args.table_id.lower().removeprefix("table").strip()
+    if key not in ALL_TABLES:
+        print(f"unknown table {args.table_id!r}; available: {', '.join(sorted(ALL_TABLES))}")
+        return 2
+    reproduction = ALL_TABLES[key](
+        scale=args.scale, verify="count" if args.verify else "none", seed=args.seed
+    )
+    print(reproduction.format())
+    return 0
+
+
+def _command_figure4(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure4
+
+    data = figure4(scale=args.scale, seed=args.seed)
+    print(data.render_ascii())
+    print()
+    print(
+        format_table(
+            ["method", "points", "within 10% of both bounds", "median dup", "median load", "worst"],
+            data.summary_rows(),
+            title="Figure 4 / Figure 10 summary",
+        )
+    )
+    if args.csv:
+        path = data.to_csv(args.csv)
+        print(f"\npoints written to {path}")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.cost.calibration import calibrate_running_time_model
+
+    result = calibrate_running_time_model(n_queries=args.queries, base_input=args.base_input)
+    coefficients = result.model.coefficients
+    print("calibrated running-time model:")
+    print(f"  beta0 (fixed)            = {coefficients.beta0:.6g}")
+    print(f"  beta1 (per shuffled tuple) = {coefficients.beta1:.6g}")
+    print(f"  beta2 (per local input)  = {coefficients.beta2:.6g}")
+    print(f"  beta3 (per output tuple) = {coefficients.beta3:.6g}")
+    print(f"  beta2 / beta3            = {coefficients.local_cost_ratio:.3g}")
+    print(f"  training observations    = {result.n_observations}")
+    print(f"  mean relative error      = {result.mean_relative_error():.3f}")
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    from repro.experiments.tables import ALL_TABLES
+
+    print("available tables:")
+    for key in sorted(ALL_TABLES):
+        print(f"  {key:4s} -> {ALL_TABLES[key].__doc__.splitlines()[0]}")
+    print("\nworkload families (see repro.experiments.workloads):")
+    for factory in (
+        wl.table2a_workloads,
+        wl.table2b_workloads,
+        wl.table2c_workloads,
+        wl.table3_workloads,
+        wl.table16_workloads,
+    ):
+        for workload in factory():
+            print(f"  {workload.name:32s} {workload.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-bandjoin`` command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _command_demo,
+        "table": _command_table,
+        "figure4": _command_figure4,
+        "calibrate": _command_calibrate,
+        "list": _command_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

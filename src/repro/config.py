@@ -1,0 +1,140 @@
+"""Global defaults used across the library.
+
+Every default here can be overridden per call; the constants only centralize
+the values so that tests, benchmarks and examples agree on a baseline
+configuration.  The values mirror the paper's setup where possible
+(``DEFAULT_BETA_RATIO`` = 4 matches the beta2/beta3 ratio profiled on the
+paper's EMR cluster) and otherwise pick laptop-scale equivalents
+(``DEFAULT_WORKERS`` = 8 instead of the paper's 30 EMR nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default number of simulated workers (the paper uses 15/30/60 EMR nodes).
+DEFAULT_WORKERS: int = 8
+
+#: Default combined sample size ``k`` (input sample + output sample) used by
+#: the optimization phase.  The paper samples 100,000 input records from
+#: 400M and sizes the output sample so statistics time stays below 5% of join
+#: time; for the scaled-down inputs used here a sample of 8192 keeps the
+#: per-leaf estimates accurate while optimization still takes well under a
+#: second.
+DEFAULT_SAMPLE_SIZE: int = 8192
+
+#: Default per-input-tuple load weight (beta2 in the paper's load model).
+DEFAULT_BETA_INPUT: float = 4.0
+
+#: Default per-output-tuple load weight (beta3 in the paper's load model).
+DEFAULT_BETA_OUTPUT: float = 1.0
+
+#: beta2 / beta3 ratio profiled on the paper's cluster.
+DEFAULT_BETA_RATIO: float = DEFAULT_BETA_INPUT / DEFAULT_BETA_OUTPUT
+
+#: Default random seed so that every experiment is reproducible end-to-end.
+DEFAULT_SEED: int = 20200413  # arXiv submission date of the paper.
+
+#: Window size multiplier for the applied (cost-model) termination condition:
+#: the paper uses a window of the last ``w`` repeat-loop iterations.
+TERMINATION_WINDOW_PER_WORKER: int = 1
+
+#: Relative improvement threshold for the applied termination condition.
+TERMINATION_IMPROVEMENT_THRESHOLD: float = 0.01
+
+#: A leaf is "small" in a dimension once its extent drops below this multiple
+#: of the band width in that dimension (the paper uses twice the band width).
+SMALL_PARTITION_FACTOR: float = 2.0
+
+#: Safety cap on RecPart repeat-loop iterations (a small multiple of ``w`` is
+#: expected; the cap only guards against pathological configurations).
+MAX_ITERATIONS_PER_WORKER: int = 64
+
+
+@dataclass(frozen=True)
+class LoadWeights:
+    """Weights of the linear per-worker load model ``L = beta_input * I + beta_output * O``.
+
+    The paper (Section 2) models the load of worker ``i`` as
+    ``L_i = beta2 * I_i + beta3 * O_i`` where ``I_i`` is the number of input
+    tuples (including duplicates) assigned to the worker and ``O_i`` the
+    number of output tuples it produces.
+    """
+
+    beta_input: float = DEFAULT_BETA_INPUT
+    beta_output: float = DEFAULT_BETA_OUTPUT
+
+    def __post_init__(self) -> None:
+        if self.beta_input < 0 or self.beta_output < 0:
+            raise ValueError("load weights must be non-negative")
+        if self.beta_input == 0 and self.beta_output == 0:
+            raise ValueError("at least one load weight must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """Return ``beta_input / beta_output`` (``inf`` if beta_output is 0)."""
+        if self.beta_output == 0:
+            return float("inf")
+        return self.beta_input / self.beta_output
+
+    def load(self, n_input: float, n_output: float) -> float:
+        """Return the load induced by ``n_input`` input and ``n_output`` output tuples."""
+        return self.beta_input * n_input + self.beta_output * n_output
+
+
+@dataclass(frozen=True)
+class RecPartConfig:
+    """Tunable knobs of the RecPart optimizer.
+
+    Attributes
+    ----------
+    sample_size:
+        Total number of sample tuples (input sample plus output sample).
+    symmetric:
+        If ``True``, each split may duplicate either S or T (RecPart);
+        if ``False``, T is always the duplicated side (RecPart-S).
+    small_partition_factor:
+        A leaf stops regular splitting in a dimension once its extent is
+        below ``small_partition_factor * epsilon`` in that dimension.
+    max_iterations:
+        Hard cap on repeat-loop iterations; ``None`` derives the cap from the
+        number of workers.
+    termination:
+        ``"applied"`` (cost-model window, the paper's default for the cloud
+        experiments) or ``"theoretical"`` (lower-bound overhead balance).
+    improvement_threshold:
+        Minimum relative improvement over the termination window for the
+        applied condition to keep going.
+    scoring:
+        Split-scoring measure: ``"ratio"`` (the paper's variance-reduction /
+        duplication-increase ratio), ``"variance"`` (variance reduction only)
+        or ``"duplication"`` (least duplication first).  The non-default
+        modes exist for the ablation study of the scoring measure.
+    """
+
+    sample_size: int = DEFAULT_SAMPLE_SIZE
+    symmetric: bool = True
+    small_partition_factor: float = SMALL_PARTITION_FACTOR
+    max_iterations: int | None = None
+    termination: str = "applied"
+    improvement_threshold: float = TERMINATION_IMPROVEMENT_THRESHOLD
+    scoring: str = "ratio"
+    weights: LoadWeights = field(default_factory=LoadWeights)
+
+    def __post_init__(self) -> None:
+        if self.sample_size < 2:
+            raise ValueError("sample_size must be at least 2")
+        if self.small_partition_factor <= 0:
+            raise ValueError("small_partition_factor must be positive")
+        if self.termination not in ("applied", "theoretical"):
+            raise ValueError("termination must be 'applied' or 'theoretical'")
+        if not 0 < self.improvement_threshold < 1:
+            raise ValueError("improvement_threshold must be in (0, 1)")
+        if self.scoring not in ("ratio", "variance", "duplication"):
+            raise ValueError("scoring must be 'ratio', 'variance' or 'duplication'")
+
+    def iteration_cap(self, workers: int) -> int:
+        """Return the effective repeat-loop iteration cap for ``workers`` workers."""
+        if self.max_iterations is not None:
+            return self.max_iterations
+        return max(workers * MAX_ITERATIONS_PER_WORKER, 32)

@@ -1,0 +1,24 @@
+"""Core contribution of the paper: the RecPart recursive partitioner.
+
+The public entry points are
+
+* :class:`~repro.core.recpart.RecPartPartitioner` — the optimizer
+  (Algorithms 1-3 of the paper) producing a
+  :class:`~repro.core.partitioner.JoinPartitioning`,
+* :class:`~repro.core.partitioner.Partitioner` /
+  :class:`~repro.core.partitioner.JoinPartitioning` — the interfaces shared
+  with every baseline partitioner in :mod:`repro.baselines`.
+"""
+
+from repro.core.partitioner import JoinPartitioning, Partitioner, PartitioningStats
+from repro.core.recpart import RecPartPartitioner
+from repro.core.split_tree import SplitTree, SplitTreePartitioning
+
+__all__ = [
+    "JoinPartitioning",
+    "Partitioner",
+    "PartitioningStats",
+    "RecPartPartitioner",
+    "SplitTree",
+    "SplitTreePartitioning",
+]

@@ -1,0 +1,234 @@
+"""Split enumeration and selection (paper Algorithm 2, ``best_split``).
+
+For a *regular* leaf the best split is searched over every splittable
+dimension and every candidate boundary (mid-points between consecutive
+sampled values), separately for T-splits (S partitioned, T duplicated) and —
+when symmetric partitioning is enabled — S-splits.  For a *small* leaf the
+only options are incrementing the row or column count of its internal
+1-Bucket grid.
+
+All candidate evaluation is vectorised: for one (leaf, dimension, split kind)
+combination every candidate boundary is scored with a handful of
+``searchsorted`` calls over the leaf's sorted sample values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import LeafStats, OptimizationContext
+from repro.core.scoring import (
+    SplitScore,
+    duplication_interval,
+    grid_sum_squared,
+    grid_total_input,
+)
+
+#: Split kinds.
+KIND_REGULAR = "regular"
+KIND_GRID = "grid"
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """The outcome of ``best_split`` for one leaf.
+
+    For ``kind == "regular"`` the split is the predicate
+    ``A_dimension < value`` with ``duplicated_side`` indicating which input
+    is copied across the boundary ("T" = T-split, "S" = S-split).
+    For ``kind == "grid"`` the split increments the internal 1-Bucket grid of
+    a small leaf (``grid_increment`` is ``"row"`` or ``"col"``).
+    """
+
+    kind: str
+    score: SplitScore
+    variance_reduction: float
+    duplication_increase: float
+    dimension: int | None = None
+    value: float | None = None
+    duplicated_side: str | None = None
+    grid_increment: str | None = None
+
+    def describe(self) -> str:
+        """Return a short human-readable description of the split."""
+        if self.kind == KIND_GRID:
+            return f"grid +{self.grid_increment}"
+        side = "T-split" if self.duplicated_side == "T" else "S-split"
+        return f"{side} A{self.dimension + 1} < {self.value:g}"
+
+
+def candidate_boundaries(
+    leaf: LeafStats, ctx: OptimizationContext, dim: int
+) -> np.ndarray:
+    """Return candidate split boundaries in dimension ``dim`` for a leaf.
+
+    Candidates are the mid-points between consecutive distinct sampled values
+    (S and T combined) that fall strictly inside the leaf's region, thinned to
+    at most ``ctx.max_split_candidates`` evenly spaced choices.
+    """
+    values = np.concatenate(
+        [leaf.sample_values(ctx, "S", dim), leaf.sample_values(ctx, "T", dim)]
+    )
+    if values.size < 2:
+        return np.empty(0)
+    distinct = np.unique(values)
+    if distinct.size < 2:
+        return np.empty(0)
+    midpoints = 0.5 * (distinct[:-1] + distinct[1:])
+    lower, upper = leaf.region.lower[dim], leaf.region.upper[dim]
+    midpoints = midpoints[(midpoints > lower) & (midpoints < upper)]
+    if midpoints.size > ctx.max_split_candidates:
+        picks = np.linspace(0, midpoints.size - 1, ctx.max_split_candidates)
+        midpoints = midpoints[np.round(picks).astype(int)]
+        midpoints = np.unique(midpoints)
+    return midpoints
+
+
+def _score_regular_candidates(
+    leaf: LeafStats,
+    ctx: OptimizationContext,
+    dim: int,
+    duplicated_side: str,
+    boundaries: np.ndarray,
+) -> SplitDecision | None:
+    """Score every candidate boundary of one (dimension, split-kind) combination
+    and return the best resulting :class:`SplitDecision` (or ``None``)."""
+    if boundaries.size == 0:
+        return None
+    partitioned_side = "S" if duplicated_side == "T" else "T"
+    predicate = ctx.condition.predicates[dim]
+
+    part_values = np.sort(leaf.sample_values(ctx, partitioned_side, dim))
+    dup_values = np.sort(leaf.sample_values(ctx, duplicated_side, dim))
+    out_values = np.sort(leaf.output_owner_values(ctx, partitioned_side, dim))
+
+    part_scale = ctx.scale_for(partitioned_side)
+    dup_scale = ctx.scale_for(duplicated_side)
+    out_scale = ctx.output_scale
+
+    n_part = part_values.size
+    n_dup = dup_values.size
+    n_out = out_values.size
+
+    # Partitioned side: disjoint split at the boundary (left = value < x).
+    part_left = np.searchsorted(part_values, boundaries, side="left")
+    part_right = n_part - part_left
+
+    # Duplicated side: copied to both children when within band width of x.
+    low, high = duplication_interval(predicate, 0.0, duplicated_side)
+    dup_left = np.searchsorted(dup_values, boundaries + high, side="left")
+    dup_right = n_dup - np.searchsorted(dup_values, boundaries + low, side="left")
+    dup_count = dup_left + dup_right - n_dup
+
+    # Output ownership follows the partitioned (non-duplicated) side.
+    out_left = np.searchsorted(out_values, boundaries, side="left")
+    out_right = n_out - out_left
+
+    # Child loads (estimated full-relation cardinalities).
+    left_input = part_left * part_scale + dup_left * dup_scale
+    right_input = part_right * part_scale + dup_right * dup_scale
+    left_load = ctx.weights.load(left_input, out_left * out_scale)
+    right_load = ctx.weights.load(right_input, out_right * out_scale)
+
+    parent_sum_sq = leaf.sum_squared_unit_loads(ctx)
+    children_sum_sq = left_load * left_load + right_load * right_load
+    variance_reduction = ctx.variance_factor * (parent_sum_sq - children_sum_sq)
+    duplication_increase = dup_count * dup_scale
+
+    # Vectorised scoring: the ratio of variance reduction to duplication
+    # increase, with the duplication floored at one tuple (see
+    # repro.core.scoring.MIN_DUPLICATION_FLOOR for the rationale).  The
+    # alternative modes are only used by the scoring-measure ablation.
+    from repro.core.scoring import MIN_DUPLICATION_FLOOR
+
+    if ctx.scoring_mode == "variance":
+        ratios = variance_reduction
+    elif ctx.scoring_mode == "duplication":
+        ratios = -np.maximum(duplication_increase, 0.0)
+    else:
+        ratios = variance_reduction / np.maximum(duplication_increase, MIN_DUPLICATION_FLOOR)
+    ranks = np.where(variance_reduction > 0, 1, 0)
+    order = np.lexsort((ratios, ranks))
+    best_idx = order[-1]
+    score = SplitScore(int(ranks[best_idx]), float(ratios[best_idx]))
+    return SplitDecision(
+        kind=KIND_REGULAR,
+        score=score,
+        variance_reduction=float(variance_reduction[best_idx]),
+        duplication_increase=float(duplication_increase[best_idx]),
+        dimension=dim,
+        value=float(boundaries[best_idx]),
+        duplicated_side=duplicated_side,
+    )
+
+
+def best_regular_split(leaf: LeafStats, ctx: OptimizationContext) -> SplitDecision | None:
+    """Return the best recursive split of a regular leaf, or ``None`` if none is useful."""
+    best: SplitDecision | None = None
+    duplicated_sides = ("T", "S") if ctx.symmetric else ("T",)
+    for dim in leaf.splittable_dimensions(ctx):
+        boundaries = candidate_boundaries(leaf, ctx, dim)
+        if boundaries.size == 0:
+            continue
+        for duplicated_side in duplicated_sides:
+            decision = _score_regular_candidates(leaf, ctx, dim, duplicated_side, boundaries)
+            if decision is None:
+                continue
+            if best is None or decision.score > best.score:
+                best = decision
+    if best is not None and not best.score.is_useful:
+        return None
+    return best
+
+
+def best_grid_split(leaf: LeafStats, ctx: OptimizationContext) -> SplitDecision | None:
+    """Return the best internal 1-Bucket refinement of a small leaf, or ``None``.
+
+    The two options are incrementing the number of row sub-partitions
+    (duplicates every T-tuple of the leaf once more) or the number of column
+    sub-partitions (duplicates every S-tuple once more); the one with the
+    better variance-reduction / duplication ratio wins (Algorithm 2, lines 8-13).
+    """
+    est_s = leaf.estimated_s(ctx)
+    est_t = leaf.estimated_t(ctx)
+    est_out = leaf.estimated_output(ctx)
+    r, c = leaf.grid_rows, leaf.grid_cols
+    current_sum_sq = grid_sum_squared(est_s, est_t, est_out, r, c, ctx)
+    current_input = grid_total_input(est_s, est_t, r, c)
+
+    options: list[SplitDecision] = []
+    for increment, (new_r, new_c) in (("row", (r + 1, c)), ("col", (r, c + 1))):
+        new_sum_sq = grid_sum_squared(est_s, est_t, est_out, new_r, new_c, ctx)
+        new_input = grid_total_input(est_s, est_t, new_r, new_c)
+        variance_reduction = ctx.variance_factor * (current_sum_sq - new_sum_sq)
+        duplication_increase = new_input - current_input
+        score = SplitScore.from_deltas(variance_reduction, duplication_increase)
+        options.append(
+            SplitDecision(
+                kind=KIND_GRID,
+                score=score,
+                variance_reduction=float(variance_reduction),
+                duplication_increase=float(duplication_increase),
+                grid_increment=increment,
+            )
+        )
+    best = max(options, key=lambda d: d.score)
+    if not best.score.is_useful:
+        return None
+    return best
+
+
+def find_best_split(leaf: LeafStats, ctx: OptimizationContext) -> SplitDecision | None:
+    """Algorithm 2: return the best split of a leaf (regular or grid), or ``None``.
+
+    A regular partition is searched for the best decision-tree-style split;
+    a small partition (below twice the band width in every dimension)
+    instead refines its internal 1-Bucket grid.
+    """
+    if leaf.s_rows.size == 0 and leaf.t_rows.size == 0:
+        return None
+    if leaf.is_small(ctx):
+        return best_grid_split(leaf, ctx)
+    return best_regular_split(leaf, ctx)

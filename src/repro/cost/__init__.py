@@ -1,0 +1,15 @@
+"""Running-time model, calibration and lower bounds."""
+
+from repro.cost.model import ModelCoefficients, RunningTimeModel, default_running_time_model
+from repro.cost.calibration import CalibrationResult, calibrate_running_time_model
+from repro.cost.lower_bounds import LowerBounds, compute_lower_bounds
+
+__all__ = [
+    "ModelCoefficients",
+    "RunningTimeModel",
+    "default_running_time_model",
+    "CalibrationResult",
+    "calibrate_running_time_model",
+    "LowerBounds",
+    "compute_lower_bounds",
+]

@@ -1,0 +1,76 @@
+"""Lower bounds on total input and max worker load (paper Lemma 1).
+
+* Total input ``I`` can never be below ``|S| + |T|`` because every input
+  tuple must reach at least one worker.
+* Max worker load ``L_m`` can never be below
+  ``L_0 = (beta2 * (|S| + |T|) + beta3 * |S join T|) / w`` because the total
+  input and the total output have to be spread over the ``w`` workers.
+
+The *overhead* measures used throughout the paper's evaluation (and by this
+library's metrics and figures) are the relative distances from those bounds:
+``(I - (|S|+|T|)) / (|S|+|T|)`` and ``(L_m - L_0) / L_0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LoadWeights
+from repro.data.relation import Relation
+from repro.exceptions import CostModelError
+from repro.geometry.band import BandCondition
+from repro.local_join.base import join_pair_count
+
+
+@dataclass(frozen=True)
+class LowerBounds:
+    """Lower bounds for one band-join problem instance."""
+
+    total_input: float
+    max_worker_load: float
+    output_size: float
+    workers: int
+
+    def input_overhead(self, total_input: float) -> float:
+        """Return the relative input-duplication overhead of a partitioning."""
+        if self.total_input <= 0:
+            return 0.0
+        return (total_input - self.total_input) / self.total_input
+
+    def load_overhead(self, max_worker_load: float) -> float:
+        """Return the relative max-worker-load overhead of a partitioning."""
+        if self.max_worker_load <= 0:
+            return 0.0
+        return (max_worker_load - self.max_worker_load) / self.max_worker_load
+
+
+def compute_lower_bounds(
+    s: Relation,
+    t: Relation,
+    condition: BandCondition,
+    workers: int,
+    weights: LoadWeights | None = None,
+    output_size: float | None = None,
+) -> LowerBounds:
+    """Compute Lemma 1's lower bounds for a band-join instance.
+
+    ``output_size`` may be passed when the exact join cardinality is already
+    known (e.g. computed by the execution engine); otherwise it is computed
+    exactly with a local join over the full inputs.
+    """
+    if workers < 1:
+        raise CostModelError("workers must be at least 1")
+    weights = weights if weights is not None else LoadWeights()
+    total_input = float(len(s) + len(t))
+    if output_size is None:
+        attrs = condition.attributes
+        output_size = float(
+            join_pair_count(s.join_matrix(attrs), t.join_matrix(attrs), condition)
+        )
+    max_worker_load = weights.load(total_input, output_size) / workers
+    return LowerBounds(
+        total_input=total_input,
+        max_worker_load=float(max_worker_load),
+        output_size=float(output_size),
+        workers=workers,
+    )

@@ -1,0 +1,155 @@
+"""The running-time model ``M(I, I_m, O_m)``.
+
+Following Li et al. (Abstract cost models for distributed data-intensive
+computations) and the paper's Section 2, the join time of a distributed
+band-join is estimated with the piecewise-linear model
+
+    M(I, I_m, O_m) = beta0 + beta1 * I + beta2 * I_m + beta3 * O_m
+
+where ``I`` is the total input shipped through the shuffle (original tuples
+plus duplicates), and ``I_m`` / ``O_m`` are the input and output of the most
+loaded worker.  ``beta1`` captures the per-tuple shuffle cost, ``beta2`` and
+``beta3`` the per-input-tuple and per-output-tuple local join cost.
+
+Coefficients are obtained by linear regression over a benchmark of training
+queries (:mod:`repro.cost.calibration`) or set explicitly; the paper's EMR
+cluster profile had ``beta2 / beta3`` of roughly 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CostModelError
+
+
+@dataclass(frozen=True)
+class ModelCoefficients:
+    """Coefficients of the running-time model (all non-negative)."""
+
+    beta0: float = 0.0
+    beta1: float = 1.0
+    beta2: float = 4.0
+    beta3: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("beta0", "beta1", "beta2", "beta3"):
+            if getattr(self, name) < 0:
+                raise CostModelError(f"{name} must be non-negative")
+
+    @property
+    def local_cost_ratio(self) -> float:
+        """Return ``beta2 / beta3`` — relative weight of an input vs an output tuple."""
+        if self.beta3 == 0:
+            return float("inf")
+        return self.beta2 / self.beta3
+
+    def as_array(self) -> np.ndarray:
+        """Return the coefficients as ``[beta0, beta1, beta2, beta3]``."""
+        return np.array([self.beta0, self.beta1, self.beta2, self.beta3], dtype=float)
+
+
+class RunningTimeModel:
+    """Linear join-time estimator ``beta0 + beta1*I + beta2*I_m + beta3*O_m``."""
+
+    def __init__(self, coefficients: ModelCoefficients | None = None) -> None:
+        self.coefficients = coefficients if coefficients is not None else ModelCoefficients()
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, total_input: float, max_input: float, max_output: float) -> float:
+        """Return the estimated join time for the given partitioning characteristics."""
+        if total_input < 0 or max_input < 0 or max_output < 0:
+            raise CostModelError("model inputs must be non-negative")
+        c = self.coefficients
+        return c.beta0 + c.beta1 * total_input + c.beta2 * max_input + c.beta3 * max_output
+
+    def predict_many(
+        self, total_input: np.ndarray, max_input: np.ndarray, max_output: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`predict` over parallel arrays."""
+        total_input = np.asarray(total_input, dtype=float)
+        max_input = np.asarray(max_input, dtype=float)
+        max_output = np.asarray(max_output, dtype=float)
+        c = self.coefficients
+        return c.beta0 + c.beta1 * total_input + c.beta2 * max_input + c.beta3 * max_output
+
+    def local_load(self, max_input: float, max_output: float) -> float:
+        """Return only the local-processing component ``beta2*I_m + beta3*O_m``."""
+        c = self.coefficients
+        return c.beta2 * max_input + c.beta3 * max_output
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def fit(
+        cls,
+        total_inputs: np.ndarray,
+        max_inputs: np.ndarray,
+        max_outputs: np.ndarray,
+        observed_times: np.ndarray,
+        fit_intercept: bool = True,
+    ) -> "RunningTimeModel":
+        """Fit coefficients with non-negative least squares over training observations.
+
+        Ordinary least squares can produce negative coefficients on small or
+        collinear training sets, which would make the model non-monotonic in
+        load; scipy's NNLS keeps every coefficient physically meaningful.
+        """
+        from scipy.optimize import nnls
+
+        total_inputs = np.asarray(total_inputs, dtype=float)
+        max_inputs = np.asarray(max_inputs, dtype=float)
+        max_outputs = np.asarray(max_outputs, dtype=float)
+        observed_times = np.asarray(observed_times, dtype=float)
+        n = observed_times.shape[0]
+        if n < 3:
+            raise CostModelError("need at least 3 training observations to fit the model")
+        if not (total_inputs.shape[0] == max_inputs.shape[0] == max_outputs.shape[0] == n):
+            raise CostModelError("training arrays must have the same length")
+        if np.any(observed_times < 0):
+            raise CostModelError("observed times must be non-negative")
+
+        columns = [total_inputs, max_inputs, max_outputs]
+        if fit_intercept:
+            design = np.column_stack([np.ones(n)] + columns)
+        else:
+            design = np.column_stack(columns)
+        solution, _ = nnls(design, observed_times)
+        if fit_intercept:
+            beta0, beta1, beta2, beta3 = solution
+        else:
+            beta0 = 0.0
+            beta1, beta2, beta3 = solution
+        return cls(ModelCoefficients(float(beta0), float(beta1), float(beta2), float(beta3)))
+
+    def relative_error(self, predicted: float, actual: float) -> float:
+        """Return the signed relative error ``(predicted - actual) / actual``."""
+        if actual <= 0:
+            raise CostModelError("actual time must be positive to compute a relative error")
+        return (predicted - actual) / actual
+
+    def __repr__(self) -> str:
+        c = self.coefficients
+        return (
+            f"RunningTimeModel(beta0={c.beta0:.4g}, beta1={c.beta1:.4g}, "
+            f"beta2={c.beta2:.4g}, beta3={c.beta3:.4g})"
+        )
+
+
+def default_running_time_model(beta_ratio: float = 4.0, shuffle_weight: float = 1.0) -> RunningTimeModel:
+    """Return an uncalibrated model with the paper's cluster-profile shape.
+
+    ``beta_ratio`` is the input/output local-cost ratio (the paper measured
+    about 4 on EMR); ``shuffle_weight`` is the weight of total input relative
+    to the per-output-tuple local cost.
+    """
+    if beta_ratio < 0 or shuffle_weight < 0:
+        raise CostModelError("beta_ratio and shuffle_weight must be non-negative")
+    return RunningTimeModel(
+        ModelCoefficients(beta0=0.0, beta1=shuffle_weight, beta2=beta_ratio, beta3=1.0)
+    )

@@ -1,0 +1,29 @@
+"""Data substrate: relations, synthetic generators and persistence."""
+
+from repro.data.relation import Relation
+from repro.data.generators import (
+    pareto_relation,
+    reverse_pareto_relation,
+    uniform_relation,
+    normal_relation,
+    zipf_relation,
+    clustered_relation,
+)
+from repro.data.synthetic_real import (
+    ebird_like,
+    cloud_reports_like,
+    ptf_objects_like,
+)
+
+__all__ = [
+    "Relation",
+    "pareto_relation",
+    "reverse_pareto_relation",
+    "uniform_relation",
+    "normal_relation",
+    "zipf_relation",
+    "clustered_relation",
+    "ebird_like",
+    "cloud_reports_like",
+    "ptf_objects_like",
+]

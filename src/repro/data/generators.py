@@ -1,0 +1,256 @@
+"""Synthetic data generators.
+
+The paper's synthetic workloads are built from Pareto-distributed join
+attributes (Section 6.1):
+
+* ``pareto-z`` — every join attribute of both inputs follows a Pareto
+  distribution with PDF ``z / x^(z+1)`` on ``[1, inf)``; high-frequency
+  values of S are also high-frequency values of T.
+* ``rv-pareto-z`` ("reverse" Pareto) — S follows the same distribution while
+  T is mirrored (``10^6 - y``), so dense regions of S are sparse regions of
+  T and vice versa.
+
+These generators reproduce those distributions (at laptop-scale
+cardinalities) plus a few extra shapes (uniform, normal, Zipf-like discrete,
+Gaussian clusters) used by tests and the extension experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.exceptions import WorkloadError
+
+#: Mirror constant used by the paper for reverse-Pareto data: T-values are
+#: generated as ``REVERSE_PARETO_OFFSET - y`` with ``y ~ Pareto(z)``.
+REVERSE_PARETO_OFFSET: float = 1.0e6
+
+
+def _check_size(n_rows: int) -> None:
+    if n_rows < 0:
+        raise WorkloadError(f"number of rows must be non-negative, got {n_rows}")
+
+
+def _attribute_names(dimensions: int) -> list[str]:
+    return [f"A{i + 1}" for i in range(dimensions)]
+
+
+def pareto_values(n: int, z: float, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` values from the Pareto distribution with shape ``z`` on ``[1, inf)``.
+
+    Uses inverse-transform sampling: if ``U ~ Uniform(0, 1)`` then
+    ``X = (1 - U)^(-1/z)`` has PDF ``z / x^(z+1)`` on ``[1, inf)``.
+    """
+    if z <= 0:
+        raise WorkloadError(f"Pareto shape parameter must be positive, got {z}")
+    u = rng.random(n)
+    return np.power(1.0 - u, -1.0 / z)
+
+
+def pareto_relation(
+    name: str,
+    n_rows: int,
+    dimensions: int = 1,
+    z: float = 1.5,
+    seed: int | np.random.Generator = 0,
+    extra_columns: int = 0,
+    decimals: int | None = None,
+) -> Relation:
+    """Generate a ``pareto-z`` relation with ``dimensions`` join attributes.
+
+    Parameters
+    ----------
+    name:
+        Relation name.
+    n_rows:
+        Number of tuples.
+    dimensions:
+        Number of join attributes ``A1 .. Ad`` (each independently Pareto).
+    z:
+        Pareto shape (skew) parameter; larger means more skew near 1.
+    seed:
+        Integer seed or an existing :class:`numpy.random.Generator`.
+    extra_columns:
+        Number of additional non-join payload columns ``P1 .. Pk`` to attach
+        (uniform noise), mimicking the wide real tables of the paper.
+    decimals:
+        Optionally round join-attribute values to this many decimal digits.
+        Rounding creates repeated values (heavy hitters near 1), which is
+        what makes the paper's band-width-zero (equi-join) workloads produce
+        non-empty output.
+    """
+    _check_size(n_rows)
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    columns: dict[str, np.ndarray] = {}
+    for attr in _attribute_names(dimensions):
+        values = pareto_values(n_rows, z, rng)
+        columns[attr] = np.round(values, decimals) if decimals is not None else values
+    for k in range(extra_columns):
+        columns[f"P{k + 1}"] = rng.random(n_rows)
+    return Relation(name, columns)
+
+
+def reverse_pareto_relation(
+    name: str,
+    n_rows: int,
+    dimensions: int = 1,
+    z: float = 1.5,
+    seed: int | np.random.Generator = 0,
+    offset: float = REVERSE_PARETO_OFFSET,
+    extra_columns: int = 0,
+) -> Relation:
+    """Generate the mirrored T-side of an ``rv-pareto-z`` pair.
+
+    Values are ``offset - y`` with ``y ~ Pareto(z)``, so the distribution is
+    skewed toward ``offset`` (large values) and sparse toward ``-inf`` —
+    exactly anti-correlated with :func:`pareto_relation` output.
+    """
+    _check_size(n_rows)
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    columns: dict[str, np.ndarray] = {}
+    for attr in _attribute_names(dimensions):
+        columns[attr] = offset - pareto_values(n_rows, z, rng)
+    for k in range(extra_columns):
+        columns[f"P{k + 1}"] = rng.random(n_rows)
+    return Relation(name, columns)
+
+
+def uniform_relation(
+    name: str,
+    n_rows: int,
+    dimensions: int = 1,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> Relation:
+    """Generate a relation with independent uniform join attributes on ``[low, high)``."""
+    _check_size(n_rows)
+    if not low < high:
+        raise WorkloadError(f"uniform range [{low}, {high}) is empty")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    columns = {attr: rng.uniform(low, high, n_rows) for attr in _attribute_names(dimensions)}
+    return Relation(name, columns)
+
+
+def normal_relation(
+    name: str,
+    n_rows: int,
+    dimensions: int = 1,
+    mean: float = 0.0,
+    std: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> Relation:
+    """Generate a relation with independent normal join attributes."""
+    _check_size(n_rows)
+    if std <= 0:
+        raise WorkloadError(f"standard deviation must be positive, got {std}")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    columns = {attr: rng.normal(mean, std, n_rows) for attr in _attribute_names(dimensions)}
+    return Relation(name, columns)
+
+
+def zipf_relation(
+    name: str,
+    n_rows: int,
+    dimensions: int = 1,
+    n_distinct: int = 1000,
+    exponent: float = 1.2,
+    seed: int | np.random.Generator = 0,
+) -> Relation:
+    """Generate a relation whose join attributes take ``n_distinct`` integer values
+    with Zipf-like frequencies (heavy hitters), useful for equi-join-style skew tests."""
+    _check_size(n_rows)
+    if n_distinct < 1:
+        raise WorkloadError("n_distinct must be at least 1")
+    if exponent <= 0:
+        raise WorkloadError("Zipf exponent must be positive")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    ranks = np.arange(1, n_distinct + 1, dtype=float)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    columns = {
+        attr: rng.choice(n_distinct, size=n_rows, p=probs).astype(float)
+        for attr in _attribute_names(dimensions)
+    }
+    return Relation(name, columns)
+
+
+def clustered_relation(
+    name: str,
+    n_rows: int,
+    centers: Sequence[Sequence[float]],
+    spreads: Sequence[float] | float,
+    weights: Sequence[float] | None = None,
+    seed: int | np.random.Generator = 0,
+    attribute_names: Sequence[str] | None = None,
+) -> Relation:
+    """Generate a Gaussian-mixture relation (clustered hot spots).
+
+    Parameters
+    ----------
+    centers:
+        Sequence of cluster centers, each a length-``d`` sequence.
+    spreads:
+        Per-cluster standard deviation (scalar applied to all clusters, or
+        one value per cluster).
+    weights:
+        Relative cluster weights; uniform when omitted.
+    attribute_names:
+        Join-attribute names; defaults to ``A1 .. Ad``.
+    """
+    _check_size(n_rows)
+    centers_arr = np.atleast_2d(np.asarray(centers, dtype=float))
+    n_clusters, d = centers_arr.shape
+    if n_clusters == 0:
+        raise WorkloadError("clustered_relation needs at least one cluster center")
+    if isinstance(spreads, (int, float)):
+        spreads_arr = np.full(n_clusters, float(spreads))
+    else:
+        spreads_arr = np.asarray(spreads, dtype=float)
+        if spreads_arr.shape != (n_clusters,):
+            raise WorkloadError("spreads must be a scalar or have one entry per cluster")
+    if np.any(spreads_arr <= 0):
+        raise WorkloadError("cluster spreads must be positive")
+    if weights is None:
+        weights_arr = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights_arr = np.asarray(weights, dtype=float)
+        if weights_arr.shape != (n_clusters,) or np.any(weights_arr < 0) or weights_arr.sum() == 0:
+            raise WorkloadError("weights must be non-negative with a positive sum")
+        weights_arr = weights_arr / weights_arr.sum()
+    names = list(attribute_names) if attribute_names is not None else _attribute_names(d)
+    if len(names) != d:
+        raise WorkloadError("attribute_names must have one entry per dimension")
+
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    assignments = rng.choice(n_clusters, size=n_rows, p=weights_arr)
+    points = centers_arr[assignments] + rng.normal(size=(n_rows, d)) * spreads_arr[assignments][:, None]
+    columns = {names[i]: points[:, i] for i in range(d)}
+    return Relation(name, columns)
+
+
+def correlated_pair(
+    n_rows_s: int,
+    n_rows_t: int,
+    dimensions: int = 1,
+    z: float = 1.5,
+    reverse: bool = False,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Convenience constructor for a (S, T) pair of Pareto relations.
+
+    With ``reverse=False`` this is the paper's ``pareto-z`` setting (both
+    inputs skewed toward small values, hot spots coincide).  With
+    ``reverse=True`` it is ``rv-pareto-z`` (T mirrored, hot spots
+    anti-correlated).
+    """
+    rng = np.random.default_rng(seed)
+    s = pareto_relation("S", n_rows_s, dimensions=dimensions, z=z, seed=rng)
+    if reverse:
+        t = reverse_pareto_relation("T", n_rows_t, dimensions=dimensions, z=z, seed=rng)
+    else:
+        t = pareto_relation("T", n_rows_t, dimensions=dimensions, z=z, seed=rng)
+    return s, t

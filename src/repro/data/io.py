@@ -1,0 +1,71 @@
+"""Relation persistence.
+
+Simple, dependency-free persistence for :class:`~repro.data.relation.Relation`
+objects so that generated workloads can be cached on disk between benchmark
+runs: ``.npz`` for compact binary storage and ``.csv`` for interoperability.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.exceptions import SchemaError
+
+
+def save_npz(relation: Relation, path: str | Path) -> Path:
+    """Save a relation to a compressed ``.npz`` archive and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, __name__=np.array([relation.name]), **relation.to_dict())
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_npz(path: str | Path) -> Relation:
+    """Load a relation previously saved by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        keys = [k for k in archive.files if k != "__name__"]
+        if not keys:
+            raise SchemaError(f"archive {path} contains no columns")
+        name = str(archive["__name__"][0]) if "__name__" in archive.files else path.stem
+        columns = {k: archive[k] for k in keys}
+    return Relation(name, columns)
+
+
+def save_csv(relation: Relation, path: str | Path) -> Path:
+    """Save a relation to CSV (header row of column names, then data rows)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = relation.column_names
+    columns = [relation.column(c) for c in names]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*columns):
+            writer.writerow(row)
+    return path
+
+
+def load_csv(path: str | Path, name: str | None = None) -> Relation:
+    """Load a relation from a CSV file written by :func:`save_csv`.
+
+    All columns are parsed as floats; non-numeric CSVs are out of scope for
+    this library.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        rows = [row for row in reader if row]
+    if not header:
+        raise SchemaError(f"CSV file {path} has no header")
+    data = np.array(rows, dtype=float) if rows else np.empty((0, len(header)))
+    columns = {col: data[:, i] for i, col in enumerate(header)}
+    return Relation(name or path.stem, columns)

@@ -1,0 +1,199 @@
+"""Column-store relations.
+
+A :class:`Relation` is an immutable, numpy-backed column store: a schema
+(ordered column names) plus one float/int array per column, all of equal
+length.  The band-join machinery only ever needs
+
+* the projection of the relation onto the join attributes as a dense
+  ``(n, d)`` float matrix (:meth:`Relation.join_matrix`),
+* row subsets / samples (:meth:`Relation.take`, :meth:`Relation.sample`),
+
+so the representation is intentionally simple and fast rather than general.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+class Relation:
+    """An immutable named collection of equally-long numpy columns.
+
+    Parameters
+    ----------
+    name:
+        Human-readable relation name (used in reports and error messages).
+    columns:
+        Mapping of column name to 1-D array-like; all columns must have the
+        same length.  Columns are converted to numpy arrays and never copied
+        again afterwards, so callers should not mutate the arrays they pass.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]) -> None:
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        converted: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for col_name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise SchemaError(
+                    f"column {col_name!r} of relation {name!r} must be one-dimensional"
+                )
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise SchemaError(
+                    f"column {col_name!r} of relation {name!r} has length {arr.shape[0]}, "
+                    f"expected {length}"
+                )
+            converted[col_name] = arr
+        self._name = name
+        self._columns = converted
+        self._length = int(length if length is not None else 0)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Return the relation name."""
+        return self._name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Return column names in schema order."""
+        return tuple(self._columns.keys())
+
+    @property
+    def num_columns(self) -> int:
+        """Return the number of columns."""
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array backing column ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self._name!r} has no column {name!r}; "
+                f"available: {list(self._columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def has_columns(self, names: Sequence[str]) -> bool:
+        """Return ``True`` when every name in ``names`` is a column of this relation."""
+        return all(n in self._columns for n in names)
+
+    # ------------------------------------------------------------------ #
+    # Projections and row subsets
+    # ------------------------------------------------------------------ #
+    def join_matrix(self, attributes: Sequence[str]) -> np.ndarray:
+        """Return the ``(n, d)`` float matrix of the given join attributes.
+
+        The column order of the result follows ``attributes``, which is the
+        order every geometric component of the library (regions, band
+        conditions, split trees) uses for its dimensions.
+        """
+        missing = [a for a in attributes if a not in self._columns]
+        if missing:
+            raise SchemaError(f"relation {self._name!r} is missing join attributes {missing}")
+        if not attributes:
+            raise SchemaError("join_matrix needs at least one attribute")
+        return np.column_stack([np.asarray(self._columns[a], dtype=float) for a in attributes])
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Relation":
+        """Return a new relation holding the rows selected by ``indices``."""
+        idx = np.asarray(indices)
+        new_columns = {c: arr[idx] for c, arr in self._columns.items()}
+        return Relation(name or self._name, new_columns)
+
+    def head(self, n: int) -> "Relation":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sample(self, n: int, rng: np.random.Generator, replace: bool = False) -> "Relation":
+        """Return a uniform random sample of ``n`` rows.
+
+        When ``n`` exceeds the relation size and ``replace`` is ``False`` the
+        whole relation is returned (a sample cannot be larger than the data).
+        """
+        if self._length == 0:
+            return self
+        if not replace and n >= self._length:
+            return self
+        idx = rng.choice(self._length, size=n, replace=replace)
+        return self.take(idx, name=f"{self._name}_sample")
+
+    def concat(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Return the row-wise concatenation of this relation and ``other``.
+
+        Both relations must have identical schemas.
+        """
+        if self.column_names != other.column_names:
+            raise SchemaError(
+                f"cannot concatenate relations with different schemas: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        new_columns = {
+            c: np.concatenate([self._columns[c], other._columns[c]]) for c in self.column_names
+        }
+        return Relation(name or self._name, new_columns)
+
+    # ------------------------------------------------------------------ #
+    # Statistics helpers
+    # ------------------------------------------------------------------ #
+    def bounds(self, attributes: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-attribute (min, max) arrays over the given attributes."""
+        matrix = self.join_matrix(attributes)
+        if matrix.shape[0] == 0:
+            d = len(attributes)
+            return np.zeros(d), np.zeros(d)
+        return matrix.min(axis=0), matrix.max(axis=0)
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Return simple summary statistics (min/max/mean) for every numeric column."""
+        summary: dict[str, dict[str, float]] = {}
+        for col_name, arr in self._columns.items():
+            if not np.issubdtype(arr.dtype, np.number):
+                continue
+            if arr.size == 0:
+                summary[col_name] = {"min": float("nan"), "max": float("nan"), "mean": float("nan")}
+                continue
+            values = arr.astype(float)
+            summary[col_name] = {
+                "min": float(values.min()),
+                "max": float(values.max()),
+                "mean": float(values.mean()),
+            }
+        return summary
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    def rename(self, name: str) -> "Relation":
+        """Return the same relation under a different name (columns are shared)."""
+        return Relation(name, self._columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(name={self._name!r}, rows={self._length}, "
+            f"columns={list(self._columns)})"
+        )

@@ -1,0 +1,37 @@
+"""Simulated distributed execution substrate.
+
+The paper runs its band-joins as MapReduce jobs on an Amazon EMR cluster.
+This subpackage provides the laptop-scale substitute: a deterministic
+simulator of the map -> shuffle -> reduce pipeline of Figure 5 that
+
+* routes every input tuple through the partitioning under test (map phase),
+* accounts for the shuffle volume (total input including duplicates),
+* executes one *real* local band-join per partition unit (reduce phase),
+  attributing input, output and measured CPU time to the owning worker,
+* verifies correctness (total output matches the single-machine join, no
+  output pair produced twice).
+
+The per-worker accounting feeds both the success measures of the paper
+(`I`, `I_m`, `O_m`, max worker load, overheads vs. the lower bounds) and the
+running-time model used to report estimated join times.
+"""
+
+from repro.distributed.stats import JobStats, WorkerStats
+from repro.distributed.cluster import SimulatedCluster, Worker
+from repro.distributed.shuffle import ShuffleStats, simulate_shuffle
+from repro.distributed.scheduler import Scheduler, GreedyScheduler, HashScheduler
+from repro.distributed.executor import DistributedBandJoinExecutor, ExecutionResult
+
+__all__ = [
+    "JobStats",
+    "WorkerStats",
+    "SimulatedCluster",
+    "Worker",
+    "ShuffleStats",
+    "simulate_shuffle",
+    "Scheduler",
+    "GreedyScheduler",
+    "HashScheduler",
+    "DistributedBandJoinExecutor",
+    "ExecutionResult",
+]

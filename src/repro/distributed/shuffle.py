@@ -1,0 +1,87 @@
+"""Shuffle simulation.
+
+In the MapReduce pipeline of Figure 5 the map phase reads the whole input
+and the shuffle moves every (possibly duplicated) tuple to the worker that
+owns its partition unit.  The simulator does not move bytes over a network,
+but it accounts for exactly the quantities that determine shuffle time in
+the paper's model: the number of tuples (and estimated bytes) each worker
+receives, and the total volume ``I``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+
+#: Assumed on-the-wire size of one tuple in bytes (one double per column plus
+#: framing overhead); only used for reporting, never for decisions.
+BYTES_PER_VALUE: float = 8.0
+TUPLE_OVERHEAD_BYTES: float = 16.0
+
+
+@dataclass(frozen=True)
+class ShuffleStats:
+    """Volume of one relation side's shuffle.
+
+    Attributes
+    ----------
+    tuples_per_worker:
+        Number of tuples (including duplicates) received per worker.
+    total_tuples:
+        Total number of shuffled tuples of this side.
+    total_bytes:
+        Estimated shuffled bytes of this side.
+    replication_factor:
+        ``total_tuples / original_tuples`` (1.0 means no duplication).
+    """
+
+    tuples_per_worker: np.ndarray
+    total_tuples: int
+    total_bytes: float
+    replication_factor: float
+
+    @property
+    def max_tuples_on_worker(self) -> int:
+        """Return the largest per-worker tuple count."""
+        return int(self.tuples_per_worker.max()) if self.tuples_per_worker.size else 0
+
+
+def simulate_shuffle(
+    worker_ids: np.ndarray,
+    n_original: int,
+    workers: int,
+    n_columns: int,
+) -> ShuffleStats:
+    """Aggregate a routed relation side into shuffle statistics.
+
+    Parameters
+    ----------
+    worker_ids:
+        Destination worker of every shuffled tuple copy (one entry per copy).
+    n_original:
+        Number of tuples of the side before duplication.
+    workers:
+        Number of workers.
+    n_columns:
+        Number of columns shipped per tuple (for the byte estimate).
+    """
+    if workers < 1:
+        raise ExecutionError("workers must be at least 1")
+    if n_original < 0:
+        raise ExecutionError("n_original must be non-negative")
+    worker_ids = np.asarray(worker_ids)
+    if worker_ids.size and (worker_ids.min() < 0 or worker_ids.max() >= workers):
+        raise ExecutionError("worker ids out of range during shuffle")
+    per_worker = np.bincount(worker_ids, minlength=workers)
+    total = int(per_worker.sum())
+    bytes_per_tuple = n_columns * BYTES_PER_VALUE + TUPLE_OVERHEAD_BYTES
+    replication = total / n_original if n_original > 0 else 1.0
+    return ShuffleStats(
+        tuples_per_worker=per_worker,
+        total_tuples=total,
+        total_bytes=float(total * bytes_per_tuple),
+        replication_factor=float(replication),
+    )

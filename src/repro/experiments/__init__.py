@@ -1,0 +1,12 @@
+"""Experiment harness: workload definitions, runner, and per-table reproductions."""
+
+from repro.experiments.workloads import Workload
+from repro.experiments.runner import ExperimentResult, MethodResult, run_workload, default_partitioners
+
+__all__ = [
+    "Workload",
+    "ExperimentResult",
+    "MethodResult",
+    "run_workload",
+    "default_partitioners",
+]

@@ -1,0 +1,189 @@
+"""Figure reproductions: the overhead scatter (Figures 4 and 10) and the
+running-time-model error CDF (Figure 9).
+
+The library has no plotting dependency; figures are produced as structured
+data (points / CDF steps) plus an ASCII rendering and an optional CSV export,
+which is what the benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import LoadWeights
+from repro.cost.model import default_running_time_model
+from repro.exceptions import ReproError
+from repro.experiments.runner import default_partitioners, run_workload
+from repro.experiments.workloads import Workload, figure4_workloads
+from repro.metrics.measures import OverheadPoint
+
+
+@dataclass
+class Figure4Data:
+    """The duplication-overhead vs load-overhead scatter of Figures 4 / 10."""
+
+    points: list[OverheadPoint] = field(default_factory=list)
+
+    def methods(self) -> list[str]:
+        """Return the distinct methods appearing in the scatter."""
+        seen: list[str] = []
+        for point in self.points:
+            if point.method not in seen:
+                seen.append(point.method)
+        return seen
+
+    def points_for(self, method: str) -> list[OverheadPoint]:
+        """Return the points of one method."""
+        return [p for p in self.points if p.method == method]
+
+    def fraction_within_ten_percent(self, method: str) -> float:
+        """Return the fraction of a method's points within 10% of both lower bounds."""
+        points = self.points_for(method)
+        if not points:
+            return 0.0
+        return sum(1 for p in points if p.within_ten_percent) / len(points)
+
+    def worst_point(self, method: str) -> OverheadPoint | None:
+        """Return the point of a method with the largest max(duplication, load) overhead."""
+        points = self.points_for(method)
+        if not points:
+            return None
+        return max(points, key=lambda p: max(p.duplication_overhead, p.load_overhead))
+
+    def summary_rows(self) -> list[list]:
+        """Return one summary row per method (for the benchmark report)."""
+        rows = []
+        for method in self.methods():
+            points = self.points_for(method)
+            rows.append(
+                [
+                    method,
+                    len(points),
+                    self.fraction_within_ten_percent(method),
+                    float(np.median([p.duplication_overhead for p in points])),
+                    float(np.median([p.load_overhead for p in points])),
+                    float(max(max(p.duplication_overhead, p.load_overhead) for p in points)),
+                ]
+            )
+        return rows
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the scatter points to CSV (method, workload, x, y)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["method", "workload", "duplication_overhead", "load_overhead"])
+            for point in self.points:
+                writer.writerow(
+                    [point.method, point.workload, point.duplication_overhead, point.load_overhead]
+                )
+        return path
+
+    def render_ascii(self, width: int = 60, height: int = 18) -> str:
+        """Render a crude log-log ASCII scatter (one character per method)."""
+        if not self.points:
+            return "(no points)"
+        markers = "RC1GIO*"
+        method_marker = {m: markers[i % len(markers)] for i, m in enumerate(self.methods())}
+        xs = np.array([max(p.duplication_overhead, 1e-4) for p in self.points])
+        ys = np.array([max(p.load_overhead, 1e-4) for p in self.points])
+        log_x = np.log10(xs)
+        log_y = np.log10(ys)
+        x_lo, x_hi = log_x.min(), max(log_x.max(), log_x.min() + 1e-6)
+        y_lo, y_hi = log_y.min(), max(log_y.max(), log_y.min() + 1e-6)
+        grid = [[" "] * width for _ in range(height)]
+        for point, lx, ly in zip(self.points, log_x, log_y):
+            col = int((lx - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((ly - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = method_marker[point.method]
+        legend = "  ".join(f"{marker}={method}" for method, marker in method_marker.items())
+        body = "\n".join("".join(row) for row in grid)
+        return (
+            f"duplication overhead (x, log) vs load overhead (y, log)\n{body}\n{legend}"
+        )
+
+
+def figure4(
+    scale: float = 1.0,
+    workloads: list[Workload] | None = None,
+    verify: str = "none",
+    seed: int = 0,
+    include_recpart_symmetric: bool = True,
+) -> Figure4Data:
+    """Reproduce the Figure 4 / Figure 10 scatter across a cross-section of workloads."""
+    from repro.experiments.tables import _scaled  # local import to avoid a cycle
+
+    weights = LoadWeights()
+    cost_model = default_running_time_model()
+    selected = workloads if workloads is not None else figure4_workloads()
+    data = Figure4Data()
+    for workload in selected:
+        scaled = _scaled(workload, scale)
+        experiment = run_workload(
+            scaled,
+            partitioners=default_partitioners(
+                weights=weights,
+                cost_model=cost_model,
+                include_recpart_symmetric=include_recpart_symmetric,
+                seed=seed,
+            ),
+            weights=weights,
+            cost_model=cost_model,
+            verify=verify,
+            seed=seed,
+        )
+        data.points.extend(experiment.overhead_points())
+    return data
+
+
+@dataclass
+class Figure9Data:
+    """Cumulative distribution of the running-time model's relative error."""
+
+    errors: list[float] = field(default_factory=list)
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (sorted absolute errors, cumulative fraction) step coordinates."""
+        if not self.errors:
+            return np.empty(0), np.empty(0)
+        values = np.sort(np.abs(np.asarray(self.errors)))
+        fractions = np.arange(1, values.size + 1) / values.size
+        return values, fractions
+
+    def fraction_below(self, threshold: float) -> float:
+        """Return the fraction of predictions with absolute relative error below ``threshold``."""
+        if not self.errors:
+            return 0.0
+        values = np.abs(np.asarray(self.errors))
+        return float(np.mean(values < threshold))
+
+    def max_error(self) -> float:
+        """Return the largest absolute relative error."""
+        if not self.errors:
+            return 0.0
+        return float(np.max(np.abs(self.errors)))
+
+    def summary_rows(self) -> list[list]:
+        """Return the Figure-9-style checkpoints (error below 0.2 / 0.4 / 0.73)."""
+        return [
+            ["fraction with |error| < 20%", self.fraction_below(0.20)],
+            ["fraction with |error| < 40%", self.fraction_below(0.40)],
+            ["fraction with |error| < 73%", self.fraction_below(0.73)],
+            ["maximum |error|", self.max_error()],
+        ]
+
+
+def figure9(scale: float = 1.0, seed: int = 0, calibration=None) -> Figure9Data:
+    """Reproduce Figure 9: the CDF of the running-time model's prediction error."""
+    from repro.experiments.tables import table12
+
+    reproduction = table12(scale=scale, seed=seed, calibration=calibration)
+    errors = [row[4] for row in reproduction.custom_rows if row[4] is not None]
+    if not errors:
+        raise ReproError("model-accuracy experiment produced no timed observations")
+    return Figure9Data(errors=errors)

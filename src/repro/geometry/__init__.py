@@ -1,0 +1,6 @@
+"""Geometric primitives: band conditions and axis-aligned regions."""
+
+from repro.geometry.band import BandCondition
+from repro.geometry.region import Region
+
+__all__ = ["BandCondition", "Region"]

@@ -1,0 +1,267 @@
+"""Band-join conditions.
+
+A band-join condition (paper Section 2) is a conjunction of per-attribute
+band predicates ``|s.A_i - t.A_i| <= eps_i``.  The library also supports the
+paper's asymmetric generalisation ``-eps_left_i <= t.A_i - s.A_i <= eps_right_i``.
+
+The class :class:`BandCondition` is the single place in the library that
+knows how to
+
+* test whether a pair of tuples joins (vectorised over numpy arrays),
+* compute the epsilon-range hyper-rectangle around a tuple, and
+* describe which attributes participate in the join (the join *dimensions*).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BandConditionError
+
+
+@dataclass(frozen=True)
+class BandPredicate:
+    """A single-attribute band predicate ``-eps_left <= t.A - s.A <= eps_right``.
+
+    The symmetric case has ``eps_left == eps_right == eps``; an equality
+    predicate is the degenerate case ``eps_left == eps_right == 0``.
+    """
+
+    attribute: str
+    eps_left: float
+    eps_right: float
+
+    def __post_init__(self) -> None:
+        if self.eps_left < 0 or self.eps_right < 0:
+            raise BandConditionError(
+                f"band widths must be non-negative, got ({self.eps_left}, {self.eps_right}) "
+                f"for attribute {self.attribute!r}"
+            )
+        if not np.isfinite(self.eps_left) or not np.isfinite(self.eps_right):
+            raise BandConditionError("band widths must be finite")
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Return ``True`` when the left and right widths coincide."""
+        return self.eps_left == self.eps_right
+
+    @property
+    def is_equality(self) -> bool:
+        """Return ``True`` when the predicate degenerates to an equi-join predicate."""
+        return self.eps_left == 0 and self.eps_right == 0
+
+    @property
+    def width(self) -> float:
+        """Return the total width ``eps_left + eps_right`` of the band."""
+        return self.eps_left + self.eps_right
+
+    def matches(self, s_values: np.ndarray, t_values: np.ndarray) -> np.ndarray:
+        """Vectorised predicate test: element-wise ``-eps_left <= t - s <= eps_right``."""
+        diff = np.asarray(t_values, dtype=float) - np.asarray(s_values, dtype=float)
+        return (diff >= -self.eps_left) & (diff <= self.eps_right)
+
+
+class BandCondition:
+    """A conjunction of band predicates over the join attributes.
+
+    Parameters
+    ----------
+    widths:
+        Either a mapping ``{attribute: eps}`` / ``{attribute: (eps_left, eps_right)}``
+        or a sequence of :class:`BandPredicate`.
+
+    Examples
+    --------
+    >>> cond = BandCondition({"longitude": 0.5, "latitude": 0.5, "time": 10.0})
+    >>> cond.dimensionality
+    3
+    >>> cond.attributes
+    ('longitude', 'latitude', 'time')
+    """
+
+    def __init__(self, widths) -> None:
+        predicates: list[BandPredicate] = []
+        if isinstance(widths, dict):
+            for attribute, eps in widths.items():
+                if isinstance(eps, (tuple, list)):
+                    if len(eps) != 2:
+                        raise BandConditionError(
+                            f"asymmetric band width for {attribute!r} must be a pair"
+                        )
+                    left, right = float(eps[0]), float(eps[1])
+                else:
+                    left = right = float(eps)
+                predicates.append(BandPredicate(attribute, left, right))
+        else:
+            for pred in widths:
+                if not isinstance(pred, BandPredicate):
+                    raise BandConditionError(
+                        "BandCondition expects a mapping or BandPredicate instances"
+                    )
+                predicates.append(pred)
+        if not predicates:
+            raise BandConditionError("a band condition needs at least one predicate")
+        seen: set[str] = set()
+        for pred in predicates:
+            if pred.attribute in seen:
+                raise BandConditionError(f"duplicate predicate on attribute {pred.attribute!r}")
+            seen.add(pred.attribute)
+        self._predicates: tuple[BandPredicate, ...] = tuple(predicates)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def symmetric(cls, attributes: Sequence[str], widths: Sequence[float] | float) -> "BandCondition":
+        """Build a symmetric condition from parallel attribute and width sequences.
+
+        ``widths`` may be a single float, in which case the same band width is
+        used in every dimension.
+        """
+        attributes = list(attributes)
+        if isinstance(widths, (int, float)):
+            widths = [float(widths)] * len(attributes)
+        widths = [float(x) for x in widths]
+        if len(widths) != len(attributes):
+            raise BandConditionError("attributes and widths must have the same length")
+        return cls({a: w for a, w in zip(attributes, widths)})
+
+    @classmethod
+    def equi_join(cls, attributes: Sequence[str]) -> "BandCondition":
+        """Build the equi-join special case (all band widths zero)."""
+        return cls.symmetric(attributes, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def predicates(self) -> tuple[BandPredicate, ...]:
+        """Return the per-attribute predicates in declaration order."""
+        return self._predicates
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Return the join attributes in declaration order."""
+        return tuple(p.attribute for p in self._predicates)
+
+    @property
+    def dimensionality(self) -> int:
+        """Return the number of join attributes ``d``."""
+        return len(self._predicates)
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        """Return symmetric band widths as an array (max of left/right per dimension)."""
+        return np.array([max(p.eps_left, p.eps_right) for p in self._predicates], dtype=float)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Return ``True`` when every predicate is symmetric."""
+        return all(p.is_symmetric for p in self._predicates)
+
+    @property
+    def is_equi_join(self) -> bool:
+        """Return ``True`` when every band width is zero."""
+        return all(p.is_equality for p in self._predicates)
+
+    def predicate_for(self, attribute: str) -> BandPredicate:
+        """Return the predicate on ``attribute`` or raise :class:`BandConditionError`."""
+        for pred in self._predicates:
+            if pred.attribute == attribute:
+                return pred
+        raise BandConditionError(f"no band predicate on attribute {attribute!r}")
+
+    def validate_against(self, columns: Iterable[str]) -> None:
+        """Raise :class:`BandConditionError` if a join attribute is missing from ``columns``."""
+        available = set(columns)
+        missing = [a for a in self.attributes if a not in available]
+        if missing:
+            raise BandConditionError(f"join attributes missing from relation: {missing}")
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def matches(self, s_values: np.ndarray, t_values: np.ndarray) -> np.ndarray:
+        """Element-wise test of the full condition.
+
+        ``s_values`` and ``t_values`` are arrays of shape ``(n, d)`` (or
+        broadcastable shapes) holding the join-attribute values of S- and
+        T-tuples paired row by row, in :attr:`attributes` order.
+        """
+        s_arr = np.atleast_2d(np.asarray(s_values, dtype=float))
+        t_arr = np.atleast_2d(np.asarray(t_values, dtype=float))
+        if s_arr.shape[-1] != self.dimensionality or t_arr.shape[-1] != self.dimensionality:
+            raise BandConditionError(
+                f"expected {self.dimensionality} join-attribute columns, "
+                f"got shapes {s_arr.shape} and {t_arr.shape}"
+            )
+        result = np.ones(np.broadcast_shapes(s_arr.shape[:-1], t_arr.shape[:-1]), dtype=bool)
+        for i, pred in enumerate(self._predicates):
+            result &= pred.matches(s_arr[..., i], t_arr[..., i])
+        return result
+
+    def matches_pair(self, s_values: Sequence[float], t_values: Sequence[float]) -> bool:
+        """Scalar version of :meth:`matches` for a single (s, t) pair."""
+        return bool(self.matches(np.asarray(s_values)[None, :], np.asarray(t_values)[None, :])[0])
+
+    def epsilon_range(self, values: np.ndarray, around: str = "t") -> tuple[np.ndarray, np.ndarray]:
+        """Return the epsilon-range hyper-rectangles around tuples.
+
+        For a T-tuple ``t``, an S-tuple matches iff it falls into
+        ``[t.A_i - eps_right_i, t.A_i + eps_left_i]`` in every dimension
+        (``around="t"``); for an S-tuple the interval is
+        ``[s.A_i - eps_left_i, s.A_i + eps_right_i]`` (``around="s"``).
+        For symmetric conditions both coincide with the paper's
+        ``[a.A_i - eps_i, a.A_i + eps_i]``.
+
+        Parameters
+        ----------
+        values:
+            Array of shape ``(n, d)`` of join-attribute values.
+        around:
+            ``"s"`` or ``"t"`` — which relation the tuples belong to.
+
+        Returns
+        -------
+        (lower, upper):
+            Two arrays of shape ``(n, d)`` with the per-dimension interval bounds.
+        """
+        arr = np.atleast_2d(np.asarray(values, dtype=float))
+        if arr.shape[-1] != self.dimensionality:
+            raise BandConditionError(
+                f"expected {self.dimensionality} join-attribute columns, got shape {arr.shape}"
+            )
+        left = np.array([p.eps_left for p in self._predicates], dtype=float)
+        right = np.array([p.eps_right for p in self._predicates], dtype=float)
+        if around == "t":
+            lower = arr - right
+            upper = arr + left
+        elif around == "s":
+            lower = arr - left
+            upper = arr + right
+        else:
+            raise BandConditionError("around must be 's' or 't'")
+        return lower, upper
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BandCondition):
+            return NotImplemented
+        return self._predicates == other._predicates
+
+    def __hash__(self) -> int:
+        return hash(self._predicates)
+
+    def __repr__(self) -> str:
+        parts = []
+        for pred in self._predicates:
+            if pred.is_symmetric:
+                parts.append(f"|{pred.attribute}| <= {pred.eps_left:g}")
+            else:
+                parts.append(f"{pred.attribute} in [-{pred.eps_left:g}, {pred.eps_right:g}]")
+        return f"BandCondition({', '.join(parts)})"

@@ -1,0 +1,191 @@
+"""Axis-aligned hyper-rectangular regions of the join-attribute space.
+
+RecPart partitions the d-dimensional join-attribute space
+``A_1 x A_2 x ... x A_d`` (paper Section 4).  Every split-tree leaf
+corresponds to one :class:`Region`: a conjunction of half-open per-dimension
+intervals ``[lower_i, upper_i)``.  The root region uses infinite bounds so
+that it covers the whole space.
+
+Half-open intervals guarantee that a recursive split of a region into
+``A_i < x`` / ``A_i >= x`` children is an exact partition of the parent: no
+point belongs to both children and no point is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned box ``[lower_i, upper_i)`` in each dimension ``i``.
+
+    Attributes
+    ----------
+    lower:
+        Tuple of lower bounds (inclusive); ``-inf`` for unbounded.
+    upper:
+        Tuple of upper bounds (exclusive); ``+inf`` for unbounded.
+    """
+
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise PartitioningError("lower and upper bounds must have the same dimensionality")
+        if len(self.lower) == 0:
+            raise PartitioningError("a region needs at least one dimension")
+        for lo, hi in zip(self.lower, self.upper):
+            if not lo < hi:
+                raise PartitioningError(f"empty or inverted interval [{lo}, {hi})")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def full_space(cls, dimensionality: int) -> "Region":
+        """Return the region covering the whole ``dimensionality``-dimensional space."""
+        if dimensionality < 1:
+            raise PartitioningError("dimensionality must be at least 1")
+        return cls(tuple([-np.inf] * dimensionality), tuple([np.inf] * dimensionality))
+
+    @classmethod
+    def from_bounds(cls, lower, upper) -> "Region":
+        """Build a region from any pair of sequences of bounds."""
+        return cls(tuple(float(x) for x in lower), tuple(float(x) for x in upper))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensionality(self) -> int:
+        """Return the number of dimensions of the region."""
+        return len(self.lower)
+
+    @property
+    def lower_array(self) -> np.ndarray:
+        """Return the lower bounds as a float array."""
+        return np.asarray(self.lower, dtype=float)
+
+    @property
+    def upper_array(self) -> np.ndarray:
+        """Return the upper bounds as a float array."""
+        return np.asarray(self.upper, dtype=float)
+
+    def extent(self, dim: int) -> float:
+        """Return the side length in dimension ``dim`` (``inf`` when unbounded)."""
+        return self.upper[dim] - self.lower[dim]
+
+    def extents(self) -> np.ndarray:
+        """Return all side lengths as an array."""
+        return self.upper_array - self.lower_array
+
+    def is_bounded(self) -> bool:
+        """Return ``True`` when every side length is finite."""
+        return bool(np.all(np.isfinite(self.extents())))
+
+    def volume(self) -> float:
+        """Return the volume of the region (``inf`` when unbounded)."""
+        return float(np.prod(self.extents()))
+
+    def is_small(self, epsilons: np.ndarray, factor: float = 2.0) -> bool:
+        """Return ``True`` when the region is "small" in every dimension.
+
+        The paper (Section 4.2) defines a partition as small as soon as its
+        size is below ``factor`` (default twice) times the band width in
+        *all* dimensions.  Dimensions with zero band width can never make a
+        region small (an equi-join dimension can always be split further), so
+        they are required to have zero extent too, which only happens for
+        degenerate single-value regions.
+        """
+        epsilons = np.asarray(epsilons, dtype=float)
+        if epsilons.shape != (self.dimensionality,):
+            raise PartitioningError("epsilons must have one entry per dimension")
+        ext = self.extents()
+        thresholds = factor * epsilons
+        return bool(np.all(ext <= thresholds))
+
+    def is_small_in_dimension(self, dim: int, epsilon: float, factor: float = 2.0) -> bool:
+        """Return ``True`` when the region cannot be usefully split in ``dim``."""
+        return self.extent(dim) <= factor * epsilon
+
+    # ------------------------------------------------------------------ #
+    # Point / box predicates (vectorised)
+    # ------------------------------------------------------------------ #
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of which ``(n, d)`` points fall inside the region."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != self.dimensionality:
+            raise PartitioningError(
+                f"points have {pts.shape[1]} dimensions, region has {self.dimensionality}"
+            )
+        return np.all((pts >= self.lower_array) & (pts < self.upper_array), axis=1)
+
+    def intersects_boxes(self, box_lower: np.ndarray, box_upper: np.ndarray) -> np.ndarray:
+        """Return which of the closed boxes ``[box_lower_i, box_upper_i]`` intersect the region.
+
+        Used for the epsilon-range routing of duplicated tuples: a T-tuple is
+        copied to every leaf whose region intersects its (closed) epsilon
+        range.  The region itself is half-open, so intersection requires
+        ``box_lower < region.upper`` and ``box_upper >= region.lower``.
+        """
+        lo = np.atleast_2d(np.asarray(box_lower, dtype=float))
+        hi = np.atleast_2d(np.asarray(box_upper, dtype=float))
+        return np.all((lo < self.upper_array) & (hi >= self.lower_array), axis=1)
+
+    def contains_region(self, other: "Region") -> bool:
+        """Return ``True`` when ``other`` lies entirely inside this region."""
+        return bool(
+            np.all(other.lower_array >= self.lower_array)
+            and np.all(other.upper_array <= self.upper_array)
+        )
+
+    def intersects_region(self, other: "Region") -> bool:
+        """Return ``True`` when the two half-open regions share any volume."""
+        return bool(
+            np.all(self.lower_array < other.upper_array)
+            and np.all(other.lower_array < self.upper_array)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Splitting
+    # ------------------------------------------------------------------ #
+    def split(self, dim: int, value: float) -> tuple["Region", "Region"]:
+        """Split the region on ``A_dim < value`` into (left, right) children.
+
+        The left child is the half satisfying the predicate (matching the
+        paper's convention in Figure 7).  Raises :class:`PartitioningError`
+        when the split value does not lie strictly inside the region.
+        """
+        if not 0 <= dim < self.dimensionality:
+            raise PartitioningError(f"split dimension {dim} out of range")
+        if not self.lower[dim] < value < self.upper[dim]:
+            raise PartitioningError(
+                f"split value {value} outside region interval "
+                f"[{self.lower[dim]}, {self.upper[dim]}) in dimension {dim}"
+            )
+        left_upper = list(self.upper)
+        left_upper[dim] = value
+        right_lower = list(self.lower)
+        right_lower[dim] = value
+        left = Region(self.lower, tuple(left_upper))
+        right = Region(tuple(right_lower), self.upper)
+        return left, right
+
+    def clip_to(self, lower: np.ndarray, upper: np.ndarray) -> "Region":
+        """Return this region clipped to finite data bounds (for reporting/plotting)."""
+        lo = np.maximum(self.lower_array, np.asarray(lower, dtype=float))
+        hi = np.minimum(self.upper_array, np.asarray(upper, dtype=float))
+        hi = np.maximum(hi, np.nextafter(lo, np.inf))
+        return Region.from_bounds(lo, hi)
+
+    def __repr__(self) -> str:
+        intervals = ", ".join(
+            f"[{lo:g}, {hi:g})" for lo, hi in zip(self.lower, self.upper)
+        )
+        return f"Region({intervals})"

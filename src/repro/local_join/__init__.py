@@ -1,0 +1,38 @@
+"""Local (single-worker) band-join algorithms.
+
+After the optimization phase has assigned input tuples to workers, each
+worker computes the band-join on its local input.  The paper points out that
+the choice of local algorithm is orthogonal to the partitioning problem; it
+only shifts the relative weight of input versus output work (the
+``beta2/beta3`` ratio).  This subpackage provides several interchangeable
+local algorithms:
+
+* :class:`NestedLoopJoin` — reference implementation (blocked all-pairs).
+* :class:`IndexNestedLoopJoin` — the paper's default: range-index on the
+  most selective dimension plus binary search.
+* :class:`SortSweepJoin` — sort-based sweep over the first dimension.
+* :class:`IEJoinLocal` — the in-memory IEJoin algorithm (sorted arrays,
+  permutation array and bit array) for the two inequalities of the first
+  band predicate, with post-filtering for the remaining dimensions.
+"""
+
+from repro.local_join.base import LocalJoinAlgorithm, join_pair_count
+from repro.local_join.nested_loop import NestedLoopJoin
+from repro.local_join.index_nested_loop import IndexNestedLoopJoin
+from repro.local_join.sort_band import SortSweepJoin
+from repro.local_join.iejoin_local import IEJoinLocal
+
+__all__ = [
+    "LocalJoinAlgorithm",
+    "NestedLoopJoin",
+    "IndexNestedLoopJoin",
+    "SortSweepJoin",
+    "IEJoinLocal",
+    "join_pair_count",
+    "default_local_join",
+]
+
+
+def default_local_join() -> LocalJoinAlgorithm:
+    """Return the library's default local join algorithm (the paper's choice)."""
+    return IndexNestedLoopJoin()

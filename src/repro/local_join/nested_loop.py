@@ -1,0 +1,85 @@
+"""Blocked nested-loop band join.
+
+The reference implementation: every (s, t) pair is tested against the band
+condition.  It is quadratic but fully vectorised block by block, so it is
+fast enough to serve as ground truth in tests and as the fallback inside
+small partitions where everything joins with everything anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.band import BandCondition
+from repro.local_join.base import LocalJoinAlgorithm, as_matrix, empty_pairs
+
+
+class NestedLoopJoin(LocalJoinAlgorithm):
+    """Exhaustive blocked all-pairs band join.
+
+    Parameters
+    ----------
+    block_size:
+        Number of S-rows processed per vectorised block.  Memory use per
+        block is ``block_size * len(T)`` booleans.
+    """
+
+    name = "nested-loop"
+
+    def __init__(self, block_size: int = 2048) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    def join(
+        self,
+        s_values: np.ndarray,
+        t_values: np.ndarray,
+        condition: BandCondition,
+    ) -> np.ndarray:
+        d = condition.dimensionality
+        s_arr = as_matrix(s_values, d)
+        t_arr = as_matrix(t_values, d)
+        if s_arr.shape[0] == 0 or t_arr.shape[0] == 0:
+            return empty_pairs()
+
+        results: list[np.ndarray] = []
+        for start in range(0, s_arr.shape[0], self.block_size):
+            stop = min(start + self.block_size, s_arr.shape[0])
+            block = s_arr[start:stop]
+            mask = self._block_mask(block, t_arr, condition)
+            s_idx, t_idx = np.nonzero(mask)
+            if s_idx.size:
+                results.append(np.column_stack([s_idx + start, t_idx]))
+        if not results:
+            return empty_pairs()
+        return np.concatenate(results).astype(np.int64)
+
+    def count(
+        self,
+        s_values: np.ndarray,
+        t_values: np.ndarray,
+        condition: BandCondition,
+    ) -> int:
+        d = condition.dimensionality
+        s_arr = as_matrix(s_values, d)
+        t_arr = as_matrix(t_values, d)
+        if s_arr.shape[0] == 0 or t_arr.shape[0] == 0:
+            return 0
+        total = 0
+        for start in range(0, s_arr.shape[0], self.block_size):
+            stop = min(start + self.block_size, s_arr.shape[0])
+            mask = self._block_mask(s_arr[start:stop], t_arr, condition)
+            total += int(mask.sum())
+        return total
+
+    @staticmethod
+    def _block_mask(
+        s_block: np.ndarray, t_arr: np.ndarray, condition: BandCondition
+    ) -> np.ndarray:
+        """Return the boolean match matrix for one block of S against all of T."""
+        mask = np.ones((s_block.shape[0], t_arr.shape[0]), dtype=bool)
+        for i, pred in enumerate(condition.predicates):
+            diff = t_arr[None, :, i] - s_block[:, None, i]
+            mask &= (diff >= -pred.eps_left) & (diff <= pred.eps_right)
+        return mask

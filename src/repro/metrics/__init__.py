@@ -1,0 +1,21 @@
+"""Success measures and report rendering."""
+
+from repro.metrics.measures import (
+    input_duplication_overhead,
+    load_overhead,
+    replication_rate,
+    overhead_point,
+    OverheadPoint,
+)
+from repro.metrics.report import format_table, format_row, render_markdown_table
+
+__all__ = [
+    "input_duplication_overhead",
+    "load_overhead",
+    "replication_rate",
+    "overhead_point",
+    "OverheadPoint",
+    "format_table",
+    "format_row",
+    "render_markdown_table",
+]

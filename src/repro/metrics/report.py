@@ -1,0 +1,80 @@
+"""Plain-text and Markdown rendering of experiment tables.
+
+The benchmark harness prints tables with the same row structure the paper
+reports (per-method optimization time, estimated join time, ``I``, ``I_m``,
+``O_m``); the helpers here keep that formatting in one place so every bench
+and example renders consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+
+def _format_cell(value) -> str:
+    """Render one cell: compact numbers, pass-through strings."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_row(values: Sequence, widths: Sequence[int] | None = None) -> str:
+    """Format one row of cells, optionally padded to column widths."""
+    cells = [_format_cell(v) for v in values]
+    if widths is None:
+        return " | ".join(cells)
+    if len(widths) != len(cells):
+        raise ReproError("widths must match the number of cells")
+    return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None) -> str:
+    """Render an aligned plain-text table."""
+    string_rows = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ReproError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render a GitHub-flavoured Markdown table (used by EXPERIMENTS.md tooling)."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError("every row must have one cell per header")
+        lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Input and join-output sampling used by the optimization phase."""
+
+from repro.sampling.input_sampler import InputSample, draw_input_sample
+from repro.sampling.output_sampler import OutputSample, draw_output_sample
+
+__all__ = ["InputSample", "draw_input_sample", "OutputSample", "draw_output_sample"]

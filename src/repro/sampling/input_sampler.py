@@ -1,0 +1,112 @@
+"""Uniform input sampling.
+
+RecPart's optimization phase (Algorithm 1, line 1) draws a random input
+sample of size ``k/2`` split over S and T.  The sample is used to estimate
+per-partition input cardinalities, so each sampled tuple carries a *scale
+factor* ``|R| / sample_size`` that converts sample counts into estimated
+full-relation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.exceptions import SamplingError
+from repro.geometry.band import BandCondition
+
+
+@dataclass(frozen=True)
+class InputSample:
+    """A joint sample of the two join inputs, projected on the join attributes.
+
+    Attributes
+    ----------
+    s_values / t_values:
+        ``(k_s, d)`` / ``(k_t, d)`` float matrices of sampled join-attribute
+        values (band-condition attribute order).
+    s_scale / t_scale:
+        Multipliers converting a count of sampled tuples into an estimate of
+        the corresponding full-relation count (``|S| / k_s``, ``|T| / k_t``).
+    s_total / t_total:
+        Full relation cardinalities.
+    """
+
+    s_values: np.ndarray
+    t_values: np.ndarray
+    s_scale: float
+    t_scale: float
+    s_total: int
+    t_total: int
+
+    @property
+    def dimensionality(self) -> int:
+        """Return the number of join attributes in the sample."""
+        return int(self.s_values.shape[1]) if self.s_values.ndim == 2 else 1
+
+    @property
+    def total_input(self) -> int:
+        """Return ``|S| + |T|``."""
+        return self.s_total + self.t_total
+
+    def combined_values(self) -> np.ndarray:
+        """Return the concatenated S and T sample matrices (used for split candidates)."""
+        return np.vstack([self.s_values, self.t_values])
+
+    def data_bounds(self, padding: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return (lower, upper) bounds of the sampled data, optionally padded.
+
+        The bounds are used to clip the (conceptually unbounded) root region
+        of the split tree to the populated part of the join-attribute space.
+        """
+        combined = self.combined_values()
+        if combined.shape[0] == 0:
+            raise SamplingError("cannot derive data bounds from an empty sample")
+        lower = combined.min(axis=0)
+        upper = combined.max(axis=0)
+        if padding is not None:
+            pad = np.asarray(padding, dtype=float)
+            lower = lower - pad
+            upper = upper + pad
+        # Guarantee non-degenerate intervals in every dimension.
+        span = upper - lower
+        bump = np.where(span <= 0, 1.0, span * 1e-9 + 1e-12)
+        return lower - bump, upper + bump
+
+
+def draw_input_sample(
+    s: Relation,
+    t: Relation,
+    condition: BandCondition,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> InputSample:
+    """Draw a uniform input sample of ``sample_size`` tuples (split evenly over S and T).
+
+    When a relation is smaller than its share of the sample, the whole
+    relation is used (scale factor 1).
+    """
+    if sample_size < 2:
+        raise SamplingError("sample_size must be at least 2")
+    condition.validate_against(s.column_names)
+    condition.validate_against(t.column_names)
+    per_side = max(1, sample_size // 2)
+
+    s_sampled = s.sample(per_side, rng)
+    t_sampled = t.sample(per_side, rng)
+    attrs = condition.attributes
+    s_matrix = s_sampled.join_matrix(attrs) if len(s_sampled) else np.empty((0, len(attrs)))
+    t_matrix = t_sampled.join_matrix(attrs) if len(t_sampled) else np.empty((0, len(attrs)))
+
+    s_scale = (len(s) / len(s_sampled)) if len(s_sampled) else 1.0
+    t_scale = (len(t) / len(t_sampled)) if len(t_sampled) else 1.0
+    return InputSample(
+        s_values=s_matrix,
+        t_values=t_matrix,
+        s_scale=float(s_scale),
+        t_scale=float(t_scale),
+        s_total=len(s),
+        t_total=len(t),
+    )

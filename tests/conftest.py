@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (a few thousand tuples at most) so the
+whole suite runs in well under a minute; the full-size experiments live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import LoadWeights  # noqa: E402
+from repro.data.generators import correlated_pair, pareto_relation, uniform_relation  # noqa: E402
+from repro.geometry.band import BandCondition  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def weights() -> LoadWeights:
+    """The default load weights (beta2 = 4, beta3 = 1)."""
+    return LoadWeights()
+
+
+@pytest.fixture
+def condition_1d() -> BandCondition:
+    """A symmetric 1D band condition on A1."""
+    return BandCondition({"A1": 0.5})
+
+
+@pytest.fixture
+def condition_3d() -> BandCondition:
+    """A symmetric 3D band condition on A1..A3."""
+    return BandCondition.symmetric(["A1", "A2", "A3"], 0.05)
+
+
+@pytest.fixture
+def small_pareto_pair():
+    """A small 3D pareto-1.5 input pair (1500 tuples per side)."""
+    return correlated_pair(1500, 1500, dimensions=3, z=1.5, seed=7)
+
+
+@pytest.fixture
+def small_pareto_pair_1d():
+    """A small 1D pareto-1.5 input pair (2000 tuples per side)."""
+    return correlated_pair(2000, 2000, dimensions=1, z=1.5, seed=11)
+
+
+@pytest.fixture
+def tiny_uniform_pair():
+    """A tiny uniform 2D input pair (300 tuples per side) for exhaustive checks."""
+    s = uniform_relation("S", 300, dimensions=2, low=0.0, high=1.0, seed=1)
+    t = uniform_relation("T", 300, dimensions=2, low=0.0, high=1.0, seed=2)
+    return s, t
+
+
+@pytest.fixture
+def skewed_relation():
+    """A single heavily skewed 1D relation."""
+    return pareto_relation("R", 2000, dimensions=1, z=2.0, seed=3)

@@ -1,0 +1,163 @@
+"""Tests for band conditions (repro.geometry.band)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BandConditionError
+from repro.geometry.band import BandCondition, BandPredicate
+
+
+class TestBandPredicate:
+    def test_symmetric_predicate(self):
+        pred = BandPredicate("A1", 2.0, 2.0)
+        assert pred.is_symmetric
+        assert not pred.is_equality
+        assert pred.width == 4.0
+
+    def test_equality_predicate(self):
+        pred = BandPredicate("A1", 0.0, 0.0)
+        assert pred.is_equality
+        assert pred.is_symmetric
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(BandConditionError):
+            BandPredicate("A1", -1.0, 0.0)
+
+    def test_infinite_width_rejected(self):
+        with pytest.raises(BandConditionError):
+            BandPredicate("A1", np.inf, 1.0)
+
+    def test_matches_is_vectorised(self):
+        pred = BandPredicate("A1", 1.0, 1.0)
+        s = np.array([0.0, 0.0, 0.0])
+        t = np.array([0.5, 1.0, 1.5])
+        np.testing.assert_array_equal(pred.matches(s, t), [True, True, False])
+
+    def test_asymmetric_matches(self):
+        pred = BandPredicate("A1", 0.0, 2.0)  # 0 <= t - s <= 2
+        assert pred.matches(np.array([1.0]), np.array([3.0]))[0]
+        assert not pred.matches(np.array([1.0]), np.array([0.5]))[0]
+
+
+class TestBandConditionConstruction:
+    def test_from_mapping(self):
+        cond = BandCondition({"x": 1.0, "y": (0.5, 1.5)})
+        assert cond.dimensionality == 2
+        assert cond.attributes == ("x", "y")
+        assert cond.predicate_for("y").eps_left == 0.5
+
+    def test_symmetric_constructor_scalar_width(self):
+        cond = BandCondition.symmetric(["a", "b", "c"], 2.0)
+        assert cond.dimensionality == 3
+        assert np.allclose(cond.epsilons, 2.0)
+
+    def test_symmetric_constructor_per_dimension(self):
+        cond = BandCondition.symmetric(["a", "b"], [1.0, 3.0])
+        assert np.allclose(cond.epsilons, [1.0, 3.0])
+
+    def test_equi_join_constructor(self):
+        cond = BandCondition.equi_join(["a", "b"])
+        assert cond.is_equi_join
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(BandConditionError):
+            BandCondition({})
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(BandConditionError):
+            BandCondition([BandPredicate("a", 1, 1), BandPredicate("a", 2, 2)])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(BandConditionError):
+            BandCondition.symmetric(["a", "b"], [1.0])
+
+    def test_unknown_attribute_lookup(self):
+        cond = BandCondition({"a": 1.0})
+        with pytest.raises(BandConditionError):
+            cond.predicate_for("missing")
+
+    def test_validate_against(self):
+        cond = BandCondition({"a": 1.0, "b": 1.0})
+        cond.validate_against(["a", "b", "c"])
+        with pytest.raises(BandConditionError):
+            cond.validate_against(["a", "c"])
+
+    def test_equality_and_hash(self):
+        c1 = BandCondition({"a": 1.0})
+        c2 = BandCondition({"a": 1.0})
+        c3 = BandCondition({"a": 2.0})
+        assert c1 == c2
+        assert hash(c1) == hash(c2)
+        assert c1 != c3
+
+    def test_repr_mentions_attributes(self):
+        cond = BandCondition({"lat": 0.5})
+        assert "lat" in repr(cond)
+
+
+class TestBandConditionEvaluation:
+    def test_matches_pairwise(self):
+        cond = BandCondition.symmetric(["a", "b"], 1.0)
+        s = np.array([[0.0, 0.0], [0.0, 0.0]])
+        t = np.array([[0.5, 0.5], [0.5, 2.0]])
+        np.testing.assert_array_equal(cond.matches(s, t), [True, False])
+
+    def test_matches_pair_scalar(self):
+        cond = BandCondition.symmetric(["a"], 1.0)
+        assert cond.matches_pair([0.0], [1.0])
+        assert not cond.matches_pair([0.0], [1.5])
+
+    def test_matches_wrong_dimensionality(self):
+        cond = BandCondition.symmetric(["a", "b"], 1.0)
+        with pytest.raises(BandConditionError):
+            cond.matches(np.zeros((3, 1)), np.zeros((3, 1)))
+
+    def test_epsilon_range_symmetric(self):
+        cond = BandCondition.symmetric(["a"], 2.0)
+        lower, upper = cond.epsilon_range(np.array([[10.0]]), around="t")
+        assert lower[0, 0] == 8.0
+        assert upper[0, 0] == 12.0
+
+    def test_epsilon_range_asymmetric_sides_differ(self):
+        cond = BandCondition({"a": (1.0, 3.0)})  # -1 <= t - s <= 3
+        t_lower, t_upper = cond.epsilon_range(np.array([[10.0]]), around="t")
+        s_lower, s_upper = cond.epsilon_range(np.array([[10.0]]), around="s")
+        # Matching s for a t at 10: s in [t - eps_right, t + eps_left] = [7, 11].
+        assert (t_lower[0, 0], t_upper[0, 0]) == (7.0, 11.0)
+        # Matching t for an s at 10: t in [s - eps_left, s + eps_right] = [9, 13].
+        assert (s_lower[0, 0], s_upper[0, 0]) == (9.0, 13.0)
+
+    def test_epsilon_range_invalid_side(self):
+        cond = BandCondition.symmetric(["a"], 1.0)
+        with pytest.raises(BandConditionError):
+            cond.epsilon_range(np.array([[0.0]]), around="x")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        s=st.floats(-100, 100),
+        t=st.floats(-100, 100),
+        eps=st.floats(0, 10),
+    )
+    def test_membership_matches_epsilon_range(self, s, t, eps):
+        """(s, t) joins iff s lies in the epsilon-range around t (paper Section 2)."""
+        cond = BandCondition.symmetric(["a"], eps)
+        joins = cond.matches_pair([s], [t])
+        lower, upper = cond.epsilon_range(np.array([[t]]), around="t")
+        in_range = bool(lower[0, 0] <= s <= upper[0, 0])
+        assert joins == in_range
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.floats(-50, 50), min_size=1, max_size=20),
+        eps=st.floats(0, 5),
+    )
+    def test_equi_join_is_special_case(self, values, eps):
+        """With eps = 0 only exactly equal values join."""
+        cond = BandCondition.symmetric(["a"], 0.0)
+        arr = np.array(values)[:, None]
+        matches = cond.matches(arr, arr)
+        assert matches.all()

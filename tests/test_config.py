@@ -1,0 +1,55 @@
+"""Tests for configuration objects (repro.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LoadWeights, RecPartConfig
+
+
+class TestLoadWeights:
+    def test_defaults_match_paper_profile(self):
+        weights = LoadWeights()
+        assert weights.ratio == pytest.approx(4.0)
+
+    def test_load_formula(self):
+        weights = LoadWeights(beta_input=2.0, beta_output=0.5)
+        assert weights.load(10, 4) == pytest.approx(22.0)
+
+    def test_zero_output_weight(self):
+        weights = LoadWeights(beta_input=1.0, beta_output=0.0)
+        assert weights.ratio == float("inf")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LoadWeights(beta_input=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            LoadWeights(beta_input=0.0, beta_output=0.0)
+
+
+class TestRecPartConfig:
+    def test_defaults(self):
+        config = RecPartConfig()
+        assert config.symmetric is True
+        assert config.termination == "applied"
+        assert config.iteration_cap(8) >= 8
+
+    def test_iteration_cap_override(self):
+        config = RecPartConfig(max_iterations=17)
+        assert config.iteration_cap(100) == 17
+
+    def test_iteration_cap_scales_with_workers(self):
+        config = RecPartConfig()
+        assert config.iteration_cap(16) > config.iteration_cap(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecPartConfig(sample_size=0)
+        with pytest.raises(ValueError):
+            RecPartConfig(small_partition_factor=-1.0)
+        with pytest.raises(ValueError):
+            RecPartConfig(termination="other")
+        with pytest.raises(ValueError):
+            RecPartConfig(improvement_threshold=1.5)

@@ -1,0 +1,149 @@
+"""Tests for the optimization context and leaf statistics (repro.core.partition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LoadWeights
+from repro.core.partition import LeafStats, OptimizationContext
+from repro.data.generators import correlated_pair
+from repro.exceptions import OptimizationError
+from repro.geometry.band import BandCondition
+from repro.geometry.region import Region
+from repro.sampling.input_sampler import draw_input_sample
+from repro.sampling.output_sampler import draw_output_sample
+
+
+@pytest.fixture
+def context(rng) -> OptimizationContext:
+    s, t = correlated_pair(3000, 3000, dimensions=2, z=1.5, seed=5)
+    condition = BandCondition.symmetric(["A1", "A2"], 0.1)
+    input_sample = draw_input_sample(s, t, condition, 1000, rng)
+    output_sample = draw_output_sample(s, t, condition, 500, rng)
+    return OptimizationContext(
+        condition=condition,
+        workers=4,
+        weights=LoadWeights(),
+        input_sample=input_sample,
+        output_sample=output_sample,
+    )
+
+
+def _root_leaf(ctx: OptimizationContext) -> LeafStats:
+    return LeafStats(
+        node_id=0,
+        region=ctx.root_region(),
+        s_rows=np.arange(ctx.input_sample.s_values.shape[0]),
+        t_rows=np.arange(ctx.input_sample.t_values.shape[0]),
+        out_rows=np.arange(len(ctx.output_sample)),
+    )
+
+
+class TestOptimizationContext:
+    def test_basic_properties(self, context):
+        assert context.dimensionality == 2
+        assert context.workers == 4
+        assert np.allclose(context.epsilons, 0.1)
+        assert context.variance_factor == pytest.approx(3 / 16)
+
+    def test_single_worker_variance_factor(self, context, rng):
+        single = OptimizationContext(
+            condition=context.condition,
+            workers=1,
+            weights=context.weights,
+            input_sample=context.input_sample,
+            output_sample=context.output_sample,
+        )
+        assert single.variance_factor == 1.0
+
+    def test_invalid_workers(self, context):
+        with pytest.raises(OptimizationError):
+            OptimizationContext(
+                condition=context.condition,
+                workers=0,
+                weights=context.weights,
+                input_sample=context.input_sample,
+                output_sample=context.output_sample,
+            )
+
+    def test_scale_for(self, context):
+        assert context.scale_for("S") == context.s_scale
+        assert context.scale_for("T") == context.t_scale
+
+    def test_root_region_covers_samples(self, context):
+        region = context.root_region()
+        assert region.contains(context.input_sample.s_values).all()
+        assert region.contains(context.input_sample.t_values).all()
+
+
+class TestLeafStats:
+    def test_root_estimates_match_relation_sizes(self, context):
+        leaf = _root_leaf(context)
+        assert leaf.estimated_s(context) == pytest.approx(context.input_sample.s_total)
+        assert leaf.estimated_t(context) == pytest.approx(context.input_sample.t_total)
+        assert leaf.estimated_input(context) == pytest.approx(context.input_sample.total_input)
+        assert leaf.estimated_output(context) == pytest.approx(
+            context.output_sample.estimated_output, rel=1e-9
+        )
+
+    def test_load_uses_weights(self, context):
+        leaf = _root_leaf(context)
+        expected = context.weights.load(
+            leaf.estimated_input(context), leaf.estimated_output(context)
+        )
+        assert leaf.load(context) == pytest.approx(expected)
+
+    def test_grid_mode_changes_units_and_input(self, context):
+        leaf = _root_leaf(context)
+        base_input = leaf.estimated_input(context)
+        leaf.grid_rows, leaf.grid_cols = 2, 3
+        assert leaf.n_units() == 6
+        # S replicated to 3 columns, T replicated to 2 rows.
+        expected = 3 * leaf.estimated_s(context) + 2 * leaf.estimated_t(context)
+        assert leaf.estimated_input(context) == pytest.approx(expected)
+        assert leaf.estimated_input(context) > base_input
+
+    def test_grid_unit_load_splits_evenly(self, context):
+        leaf = _root_leaf(context)
+        total_load_before = leaf.load(context)
+        leaf.grid_rows, leaf.grid_cols = 2, 2
+        unit = leaf.unit_load(context)
+        # Each of the 4 cells holds half of S, half of T and a quarter of the output.
+        assert unit < total_load_before
+        assert leaf.sum_squared_unit_loads(context) == pytest.approx(4 * unit * unit)
+
+    def test_smallness_depends_on_region(self, context):
+        big = _root_leaf(context)
+        assert not big.is_small(context)
+        small_leaf = LeafStats(
+            node_id=1,
+            region=Region.from_bounds([0.0, 0.0], [0.15, 0.12]),
+            s_rows=np.arange(3),
+            t_rows=np.arange(3),
+            out_rows=np.arange(0),
+        )
+        assert small_leaf.is_small(context)
+        assert small_leaf.splittable_dimensions(context) == []
+
+    def test_splittable_dimensions_partial(self, context):
+        leaf = LeafStats(
+            node_id=2,
+            region=Region.from_bounds([0.0, 0.0], [0.15, 50.0]),
+            s_rows=np.arange(3),
+            t_rows=np.arange(3),
+            out_rows=np.arange(0),
+        )
+        assert leaf.splittable_dimensions(context) == [1]
+
+    def test_sample_values_and_output_owner_values(self, context):
+        leaf = _root_leaf(context)
+        assert leaf.sample_values(context, "S", 0).shape[0] == leaf.s_rows.size
+        assert leaf.sample_values(context, "T", 1).shape[0] == leaf.t_rows.size
+        assert leaf.output_owner_values(context, "S", 0).shape[0] == leaf.out_rows.size
+
+    def test_bump_version(self, context):
+        leaf = _root_leaf(context)
+        before = leaf.version
+        leaf.bump_version()
+        assert leaf.version == before + 1

@@ -1,0 +1,149 @@
+"""Tests for the running-time model, calibration and lower bounds (repro.cost)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LoadWeights
+from repro.cost.calibration import calibrate_running_time_model
+from repro.cost.lower_bounds import compute_lower_bounds
+from repro.cost.model import ModelCoefficients, RunningTimeModel, default_running_time_model
+from repro.data.generators import correlated_pair, uniform_relation
+from repro.exceptions import CostModelError
+from repro.geometry.band import BandCondition
+from repro.local_join.base import join_pair_count
+
+
+class TestModelCoefficients:
+    def test_defaults_match_paper_ratio(self):
+        coefficients = ModelCoefficients()
+        assert coefficients.local_cost_ratio == pytest.approx(4.0)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(CostModelError):
+            ModelCoefficients(beta1=-1.0)
+
+    def test_zero_output_weight_ratio(self):
+        coefficients = ModelCoefficients(beta3=0.0)
+        assert coefficients.local_cost_ratio == np.inf
+
+    def test_as_array(self):
+        arr = ModelCoefficients(1.0, 2.0, 3.0, 4.0).as_array()
+        np.testing.assert_array_equal(arr, [1.0, 2.0, 3.0, 4.0])
+
+
+class TestRunningTimeModel:
+    def test_prediction_is_linear(self):
+        model = RunningTimeModel(ModelCoefficients(beta0=1.0, beta1=2.0, beta2=3.0, beta3=4.0))
+        assert model.predict(10, 5, 2) == pytest.approx(1 + 20 + 15 + 8)
+
+    def test_negative_inputs_rejected(self):
+        model = default_running_time_model()
+        with pytest.raises(CostModelError):
+            model.predict(-1, 0, 0)
+
+    def test_predict_many_matches_predict(self):
+        model = default_running_time_model()
+        totals = np.array([10.0, 20.0])
+        maxima = np.array([5.0, 6.0])
+        outputs = np.array([1.0, 2.0])
+        many = model.predict_many(totals, maxima, outputs)
+        assert many[0] == pytest.approx(model.predict(10, 5, 1))
+        assert many[1] == pytest.approx(model.predict(20, 6, 2))
+
+    def test_local_load(self):
+        model = default_running_time_model()
+        assert model.local_load(10, 4) == pytest.approx(4 * 10 + 4)
+
+    def test_fit_recovers_known_coefficients(self, rng):
+        true = ModelCoefficients(beta0=0.0, beta1=0.5, beta2=2.0, beta3=0.25)
+        totals = rng.uniform(100, 1000, 50)
+        maxima = rng.uniform(10, 100, 50)
+        outputs = rng.uniform(0, 500, 50)
+        times = true.beta1 * totals + true.beta2 * maxima + true.beta3 * outputs
+        model = RunningTimeModel.fit(totals, maxima, outputs, times)
+        predicted = model.predict_many(totals, maxima, outputs)
+        np.testing.assert_allclose(predicted, times, rtol=0.05)
+
+    def test_fit_never_produces_negative_coefficients(self, rng):
+        totals = rng.uniform(100, 1000, 20)
+        maxima = rng.uniform(10, 100, 20)
+        outputs = rng.uniform(0, 500, 20)
+        times = rng.uniform(1, 2, 20)  # noisy, nearly constant
+        model = RunningTimeModel.fit(totals, maxima, outputs, times)
+        arr = model.coefficients.as_array()
+        assert np.all(arr >= 0)
+
+    def test_fit_requires_enough_observations(self):
+        with pytest.raises(CostModelError):
+            RunningTimeModel.fit(np.ones(2), np.ones(2), np.ones(2), np.ones(2))
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(CostModelError):
+            RunningTimeModel.fit(np.ones(4), np.ones(4), np.ones(3), np.ones(4))
+
+    def test_relative_error(self):
+        model = default_running_time_model()
+        assert model.relative_error(12.0, 10.0) == pytest.approx(0.2)
+        with pytest.raises(CostModelError):
+            model.relative_error(1.0, 0.0)
+
+    def test_default_model_validation(self):
+        with pytest.raises(CostModelError):
+            default_running_time_model(beta_ratio=-1)
+
+
+class TestCalibration:
+    def test_calibration_produces_usable_model(self):
+        result = calibrate_running_time_model(n_queries=6, base_input=800, seed=1)
+        assert result.n_observations == 6
+        assert result.shuffle_cost_per_tuple > 0
+        model = result.model
+        # More work must never be predicted to be faster.
+        assert model.predict(2000, 2000, 1000) >= model.predict(1000, 1000, 100)
+        # The fit should describe its own training data reasonably well.
+        assert result.mean_relative_error() < 1.0
+
+    def test_calibration_parameter_validation(self):
+        with pytest.raises(CostModelError):
+            calibrate_running_time_model(n_queries=2)
+        with pytest.raises(CostModelError):
+            calibrate_running_time_model(base_input=5)
+
+
+class TestLowerBounds:
+    def test_bounds_match_lemma1(self, weights):
+        s, t = correlated_pair(1000, 1000, dimensions=1, z=1.5, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        workers = 4
+        bounds = compute_lower_bounds(s, t, condition, workers, weights=weights)
+        exact_output = join_pair_count(
+            s.join_matrix(["A1"]), t.join_matrix(["A1"]), condition
+        )
+        assert bounds.total_input == 2000
+        assert bounds.output_size == exact_output
+        assert bounds.max_worker_load == pytest.approx(
+            weights.load(2000, exact_output) / workers
+        )
+
+    def test_overhead_measures(self, weights):
+        s = uniform_relation("S", 500, dimensions=1, seed=0)
+        t = uniform_relation("T", 500, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        bounds = compute_lower_bounds(s, t, condition, 2, weights=weights)
+        assert bounds.input_overhead(bounds.total_input) == pytest.approx(0.0)
+        assert bounds.input_overhead(bounds.total_input * 1.5) == pytest.approx(0.5)
+        assert bounds.load_overhead(bounds.max_worker_load * 1.1) == pytest.approx(0.1)
+
+    def test_explicit_output_size_skips_exact_join(self, weights):
+        s, t = correlated_pair(500, 500, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        bounds = compute_lower_bounds(s, t, condition, 4, weights=weights, output_size=1234)
+        assert bounds.output_size == 1234
+
+    def test_invalid_workers(self, weights):
+        s, t = correlated_pair(100, 100, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        with pytest.raises(CostModelError):
+            compute_lower_bounds(s, t, condition, 0, weights=weights)

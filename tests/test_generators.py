@@ -1,0 +1,155 @@
+"""Tests for the synthetic data generators (repro.data.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    REVERSE_PARETO_OFFSET,
+    clustered_relation,
+    correlated_pair,
+    normal_relation,
+    pareto_relation,
+    pareto_values,
+    reverse_pareto_relation,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestParetoValues:
+    def test_values_above_one(self):
+        values = pareto_values(5000, 1.5, np.random.default_rng(0))
+        assert values.min() >= 1.0
+
+    def test_skew_parameter_controls_tail(self):
+        rng = np.random.default_rng(1)
+        light_tail = pareto_values(20000, 2.5, rng)
+        heavy_tail = pareto_values(20000, 0.8, np.random.default_rng(1))
+        assert np.quantile(heavy_tail, 0.99) > np.quantile(light_tail, 0.99)
+
+    def test_empirical_cdf_matches_pareto(self):
+        """P(X <= x) should be about 1 - x^-z (the power-law 80-20 shape)."""
+        values = pareto_values(50000, 1.5, np.random.default_rng(2))
+        for x in (2.0, 4.0, 8.0):
+            empirical = np.mean(values <= x)
+            expected = 1 - x**-1.5
+            assert abs(empirical - expected) < 0.02
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            pareto_values(10, 0.0, np.random.default_rng(0))
+
+
+class TestRelationGenerators:
+    def test_pareto_relation_shape(self):
+        rel = pareto_relation("S", 1000, dimensions=3, z=1.5, seed=0)
+        assert len(rel) == 1000
+        assert rel.column_names == ("A1", "A2", "A3")
+
+    def test_pareto_relation_extra_columns(self):
+        rel = pareto_relation("S", 100, dimensions=1, extra_columns=2, seed=0)
+        assert "P1" in rel and "P2" in rel
+
+    def test_pareto_relation_rounding_creates_duplicates(self):
+        rel = pareto_relation("S", 20000, dimensions=1, z=1.5, seed=0, decimals=3)
+        values = rel["A1"]
+        assert np.unique(values).size < values.size
+
+    def test_pareto_relation_deterministic_per_seed(self):
+        a = pareto_relation("S", 500, seed=42)
+        b = pareto_relation("S", 500, seed=42)
+        np.testing.assert_array_equal(a["A1"], b["A1"])
+
+    def test_reverse_pareto_is_mirrored(self):
+        rel = reverse_pareto_relation("T", 5000, dimensions=1, z=1.5, seed=0)
+        values = rel["A1"]
+        assert values.max() < REVERSE_PARETO_OFFSET
+        # Skewed toward the offset: most mass close to it.
+        assert np.mean(values > REVERSE_PARETO_OFFSET - 10) > 0.5
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            pareto_relation("S", -1)
+
+    def test_uniform_relation_range(self):
+        rel = uniform_relation("U", 1000, dimensions=2, low=5.0, high=6.0, seed=0)
+        for col in ("A1", "A2"):
+            assert rel[col].min() >= 5.0
+            assert rel[col].max() < 6.0
+
+    def test_uniform_empty_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_relation("U", 10, low=1.0, high=1.0)
+
+    def test_normal_relation(self):
+        rel = normal_relation("N", 5000, mean=3.0, std=0.5, seed=0)
+        assert abs(rel["A1"].mean() - 3.0) < 0.1
+
+    def test_normal_invalid_std(self):
+        with pytest.raises(WorkloadError):
+            normal_relation("N", 10, std=0.0)
+
+    def test_zipf_relation_heavy_hitters(self):
+        rel = zipf_relation("Z", 20000, n_distinct=100, exponent=1.5, seed=0)
+        values, counts = np.unique(rel["A1"], return_counts=True)
+        assert counts.max() > 3 * counts.mean()
+
+    def test_zipf_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            zipf_relation("Z", 10, n_distinct=0)
+        with pytest.raises(WorkloadError):
+            zipf_relation("Z", 10, exponent=0.0)
+
+
+class TestClusteredRelation:
+    def test_points_concentrate_around_centers(self):
+        centers = [[0.0, 0.0], [100.0, 100.0]]
+        rel = clustered_relation("C", 2000, centers=centers, spreads=1.0, seed=0)
+        matrix = rel.join_matrix(["A1", "A2"])
+        near_any = np.zeros(len(rel), dtype=bool)
+        for center in centers:
+            near_any |= np.linalg.norm(matrix - np.asarray(center), axis=1) < 10.0
+        assert near_any.mean() > 0.99
+
+    def test_weights_control_cluster_sizes(self):
+        centers = [[0.0], [1000.0]]
+        rel = clustered_relation(
+            "C", 5000, centers=centers, spreads=1.0, weights=[0.9, 0.1], seed=0
+        )
+        near_first = np.abs(rel["A1"]) < 100
+        assert near_first.mean() > 0.8
+
+    def test_custom_attribute_names(self):
+        rel = clustered_relation(
+            "C", 10, centers=[[0.0, 0.0]], spreads=1.0, attribute_names=["lat", "lon"], seed=0
+        )
+        assert rel.column_names == ("lat", "lon")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            clustered_relation("C", 10, centers=[[0.0]], spreads=0.0)
+        with pytest.raises(WorkloadError):
+            clustered_relation("C", 10, centers=[[0.0]], spreads=1.0, weights=[0.0])
+        with pytest.raises(WorkloadError):
+            clustered_relation("C", 10, centers=[[0.0]], spreads=1.0, attribute_names=["a", "b"])
+        with pytest.raises(WorkloadError):
+            clustered_relation("C", 10, centers=np.empty((0, 2)), spreads=1.0)
+
+
+class TestCorrelatedPair:
+    def test_forward_pair_shares_dense_region(self):
+        s, t = correlated_pair(5000, 5000, dimensions=1, z=1.5, seed=0)
+        # Both skewed toward 1: medians close together.
+        assert abs(np.median(s["A1"]) - np.median(t["A1"])) < 1.0
+
+    def test_reverse_pair_is_anti_correlated(self):
+        s, t = correlated_pair(5000, 5000, dimensions=1, z=1.5, reverse=True, seed=0)
+        assert np.median(t["A1"]) > np.median(s["A1"]) + 1e5
+
+    def test_pair_sizes(self):
+        s, t = correlated_pair(100, 200, dimensions=2, seed=0)
+        assert len(s) == 100 and len(t) == 200
+        assert s.column_names == t.column_names

@@ -1,0 +1,173 @@
+"""Tests for the local band-join algorithms.
+
+The nested-loop join is used as the reference; every other algorithm must
+produce exactly the same pair set on every input, including the asymmetric
+and equi-join special cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import pareto_relation, uniform_relation
+from repro.geometry.band import BandCondition
+from repro.local_join import default_local_join
+from repro.local_join.base import canonical_pair_order, join_pair_count
+from repro.local_join.iejoin_local import IEJoinLocal
+from repro.local_join.index_nested_loop import IndexNestedLoopJoin
+from repro.local_join.nested_loop import NestedLoopJoin
+from repro.local_join.sort_band import SortSweepJoin
+
+ALGORITHMS = [
+    NestedLoopJoin(block_size=64),
+    IndexNestedLoopJoin(max_candidates_per_chunk=1000),
+    SortSweepJoin(),
+    IEJoinLocal(),
+]
+
+
+def _pairs(algorithm, s, t, condition):
+    return canonical_pair_order(algorithm.join(s, t, condition))
+
+
+def _random_inputs(rng, n_s, n_t, d, spread=10.0):
+    return rng.uniform(0, spread, size=(n_s, d)), rng.uniform(0, spread, size=(n_t, d))
+
+
+class TestAgreementWithReference:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS[1:], ids=lambda a: a.name)
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_same_pairs_as_nested_loop(self, algorithm, d, rng):
+        s, t = _random_inputs(rng, 150, 170, d, spread=5.0)
+        condition = BandCondition.symmetric([f"A{i+1}" for i in range(d)], 0.4)
+        reference = _pairs(NestedLoopJoin(), s, t, condition)
+        result = _pairs(algorithm, s, t, condition)
+        np.testing.assert_array_equal(result, reference)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_count_matches_join(self, algorithm, rng):
+        s, t = _random_inputs(rng, 120, 140, 2, spread=4.0)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.3)
+        assert algorithm.count(s, t, condition) == algorithm.join(s, t, condition).shape[0]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS[1:], ids=lambda a: a.name)
+    def test_asymmetric_band(self, algorithm, rng):
+        s, t = _random_inputs(rng, 100, 100, 1, spread=3.0)
+        condition = BandCondition({"A1": (0.0, 0.5)})  # 0 <= t - s <= 0.5
+        reference = _pairs(NestedLoopJoin(), s, t, condition)
+        np.testing.assert_array_equal(_pairs(algorithm, s, t, condition), reference)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS[1:], ids=lambda a: a.name)
+    def test_equi_join_case(self, algorithm, rng):
+        values = rng.integers(0, 20, size=80).astype(float)
+        s = values[:, None]
+        t = rng.integers(0, 20, size=90).astype(float)[:, None]
+        condition = BandCondition.symmetric(["A1"], 0.0)
+        reference = _pairs(NestedLoopJoin(), s, t, condition)
+        np.testing.assert_array_equal(_pairs(algorithm, s, t, condition), reference)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_empty_inputs(self, algorithm):
+        condition = BandCondition.symmetric(["A1"], 1.0)
+        empty = np.empty((0, 1))
+        some = np.array([[1.0], [2.0]])
+        assert algorithm.join(empty, some, condition).shape == (0, 2)
+        assert algorithm.join(some, empty, condition).shape == (0, 2)
+        assert algorithm.count(empty, empty, condition) == 0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_skewed_pareto_input(self, algorithm):
+        s_rel = pareto_relation("S", 300, dimensions=2, z=1.0, seed=0)
+        t_rel = pareto_relation("T", 300, dimensions=2, z=1.0, seed=1)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.1)
+        s = s_rel.join_matrix(condition.attributes)
+        t = t_rel.join_matrix(condition.attributes)
+        reference = _pairs(NestedLoopJoin(), s, t, condition)
+        np.testing.assert_array_equal(_pairs(algorithm, s, t, condition), reference)
+
+    def test_cartesian_product_limit(self, rng):
+        """A band width larger than the data spread degenerates to the Cartesian product."""
+        s, t = _random_inputs(rng, 40, 30, 2, spread=1.0)
+        condition = BandCondition.symmetric(["A1", "A2"], 10.0)
+        for algorithm in ALGORITHMS:
+            assert algorithm.count(s, t, condition) == 40 * 30
+
+
+class TestIndexNestedLoopSpecifics:
+    def test_selects_most_selective_dimension(self, rng):
+        # Dimension 1 has a huge spread relative to its band width, so it
+        # should be chosen as the index dimension.
+        s = np.column_stack([rng.uniform(0, 1, 200), rng.uniform(0, 1000, 200)])
+        t = np.column_stack([rng.uniform(0, 1, 200), rng.uniform(0, 1000, 200)])
+        condition = BandCondition.symmetric(["A1", "A2"], 0.5)
+        algorithm = IndexNestedLoopJoin()
+        assert algorithm.select_index_dimension(s, t, condition) == 1
+
+    def test_explicit_index_dimension(self, rng):
+        s, t = _random_inputs(rng, 50, 50, 2)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.5)
+        algorithm = IndexNestedLoopJoin(index_dimension=1)
+        reference = _pairs(NestedLoopJoin(), s, t, condition)
+        np.testing.assert_array_equal(_pairs(algorithm, s, t, condition), reference)
+
+    def test_invalid_index_dimension(self, rng):
+        s, t = _random_inputs(rng, 10, 10, 2)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.5)
+        with pytest.raises(ValueError):
+            IndexNestedLoopJoin(index_dimension=5).join(s, t, condition)
+
+    def test_chunking_does_not_change_result(self, rng):
+        s, t = _random_inputs(rng, 300, 300, 1, spread=3.0)
+        condition = BandCondition.symmetric(["A1"], 0.2)
+        small_chunks = IndexNestedLoopJoin(max_candidates_per_chunk=17)
+        large_chunks = IndexNestedLoopJoin(max_candidates_per_chunk=10**6)
+        np.testing.assert_array_equal(
+            _pairs(small_chunks, s, t, condition), _pairs(large_chunks, s, t, condition)
+        )
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            IndexNestedLoopJoin(max_candidates_per_chunk=0)
+        with pytest.raises(ValueError):
+            NestedLoopJoin(block_size=0)
+        with pytest.raises(ValueError):
+            SortSweepJoin(sweep_dimension=-1)
+        with pytest.raises(ValueError):
+            IEJoinLocal(primary_dimension=-1)
+
+    def test_sweep_dimension_out_of_range(self, rng):
+        s, t = _random_inputs(rng, 10, 10, 1)
+        condition = BandCondition.symmetric(["A1"], 0.5)
+        with pytest.raises(ValueError):
+            SortSweepJoin(sweep_dimension=3).join(s, t, condition)
+        with pytest.raises(ValueError):
+            IEJoinLocal(primary_dimension=3).join(s, t, condition)
+
+
+class TestHelpers:
+    def test_default_local_join_is_index_nested_loop(self):
+        assert isinstance(default_local_join(), IndexNestedLoopJoin)
+
+    def test_join_pair_count_wrapper(self, rng):
+        s, t = _random_inputs(rng, 60, 60, 1, spread=2.0)
+        condition = BandCondition.symmetric(["A1"], 0.3)
+        expected = NestedLoopJoin().count(s, t, condition)
+        assert join_pair_count(s, t, condition) == expected
+        assert join_pair_count(s, t, condition, algorithm=SortSweepJoin()) == expected
+
+    def test_canonical_pair_order_sorts(self):
+        pairs = np.array([[2, 1], [0, 5], [2, 0]])
+        ordered = canonical_pair_order(pairs)
+        assert ordered.tolist() == [[0, 5], [2, 0], [2, 1]]
+
+    def test_relation_sized_uniform_join_count_sanity(self):
+        """Expected number of pairs for uniform data matches the analytic value."""
+        s = uniform_relation("S", 2000, dimensions=1, seed=0)
+        t = uniform_relation("T", 2000, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        count = join_pair_count(
+            s.join_matrix(["A1"]), t.join_matrix(["A1"]), condition
+        )
+        expected = 2000 * 2000 * 0.02  # P(|x-y| <= 0.01) ~ 2 * eps for uniform [0, 1)
+        assert 0.7 * expected < count < 1.3 * expected

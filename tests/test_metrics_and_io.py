@@ -1,0 +1,123 @@
+"""Tests for success measures, report rendering and relation persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LoadWeights
+from repro.cost.lower_bounds import LowerBounds
+from repro.data.generators import uniform_relation
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.exceptions import ReproError, SchemaError
+from repro.metrics.measures import (
+    OverheadPoint,
+    input_duplication_overhead,
+    load_overhead,
+    replication_rate,
+)
+from repro.metrics.report import format_row, format_table, render_markdown_table
+
+
+class TestMeasures:
+    def test_duplication_overhead(self):
+        assert input_duplication_overhead(110, 100) == pytest.approx(0.1)
+        assert input_duplication_overhead(100, 100) == 0.0
+
+    def test_load_overhead(self):
+        assert load_overhead(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_replication_rate(self):
+        assert replication_rate(300, 100) == pytest.approx(3.0)
+
+    def test_invalid_baselines(self):
+        with pytest.raises(ReproError):
+            input_duplication_overhead(10, 0)
+        with pytest.raises(ReproError):
+            load_overhead(10, 0)
+        with pytest.raises(ReproError):
+            replication_rate(10, 0)
+
+    def test_overhead_point_within_ten_percent(self):
+        good = OverheadPoint("RecPart", "w1", 0.05, 0.08)
+        bad = OverheadPoint("Grid", "w1", 2.0, 0.05)
+        assert good.within_ten_percent
+        assert not bad.within_ten_percent
+
+    def test_lower_bounds_overheads_consistency(self, weights):
+        bounds = LowerBounds(total_input=1000, max_worker_load=500, output_size=100, workers=4)
+        assert bounds.input_overhead(1100) == pytest.approx(0.1)
+        assert bounds.load_overhead(550) == pytest.approx(0.1)
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [30, "x"]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ReproError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_row_with_widths(self):
+        row = format_row([1, "x"], widths=[4, 4])
+        assert row == "   1 |    x"
+
+    def test_format_row_width_mismatch(self):
+        with pytest.raises(ReproError):
+            format_row([1], widths=[2, 3])
+
+    def test_cell_formatting_variants(self):
+        text = format_table(
+            ["v"],
+            [[None], [True], [1234567], [0.00001], [12.3456], [0.5]],
+        )
+        assert "-" in text
+        assert "yes" in text
+        assert "1,234,567" in text
+
+    def test_markdown_table(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]], title="T")
+        assert text.startswith("**T**")
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+
+    def test_markdown_table_mismatch(self):
+        with pytest.raises(ReproError):
+            render_markdown_table(["a"], [[1, 2]])
+
+
+class TestRelationIO:
+    def test_npz_roundtrip(self, tmp_path):
+        relation = uniform_relation("R", 100, dimensions=2, seed=0)
+        path = save_npz(relation, tmp_path / "rel.npz")
+        loaded = load_npz(path)
+        assert loaded.name == "R"
+        np.testing.assert_array_equal(loaded["A1"], relation["A1"])
+
+    def test_csv_roundtrip(self, tmp_path):
+        relation = uniform_relation("R", 50, dimensions=3, seed=1)
+        path = save_csv(relation, tmp_path / "rel.csv")
+        loaded = load_csv(path)
+        assert loaded.column_names == relation.column_names
+        np.testing.assert_allclose(loaded["A2"], relation["A2"])
+
+    def test_csv_custom_name(self, tmp_path):
+        relation = uniform_relation("R", 10, dimensions=1, seed=2)
+        path = save_csv(relation, tmp_path / "data.csv")
+        assert load_csv(path, name="custom").name == "custom"
+
+    def test_empty_csv_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(empty)
+
+    def test_empty_relation_roundtrip(self, tmp_path):
+        relation = uniform_relation("R", 0, dimensions=1, seed=0)
+        path = save_csv(relation, tmp_path / "empty_rel.csv")
+        loaded = load_csv(path)
+        assert len(loaded) == 0

@@ -1,0 +1,182 @@
+"""Tests for quantile orderings and join-matrix covering (repro.baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_cover import (
+    CoarsenedMatrix,
+    Rectangle,
+    cover_matrix,
+)
+from repro.baselines.quantiles import (
+    approximate_quantiles,
+    assign_ranges,
+    morton_key,
+    ordering_key,
+    row_major_key,
+)
+from repro.config import LoadWeights
+from repro.exceptions import OptimizationError, PartitioningError
+
+
+class TestQuantiles:
+    def test_quantiles_split_evenly(self, rng):
+        values = rng.uniform(0, 100, 10_000)
+        boundaries = approximate_quantiles(values, 4)
+        ranges = assign_ranges(values, boundaries)
+        counts = np.bincount(ranges, minlength=4)
+        assert counts.min() > 0.8 * len(values) / 4
+
+    def test_skewed_data_deduplicates_boundaries(self):
+        values = np.concatenate([np.zeros(1000), np.arange(10)])
+        boundaries = approximate_quantiles(values, 8)
+        assert np.unique(boundaries).size == boundaries.size
+
+    def test_single_range(self, rng):
+        assert approximate_quantiles(rng.uniform(size=100), 1).size == 0
+
+    def test_invalid_range_count(self):
+        with pytest.raises(PartitioningError):
+            approximate_quantiles(np.arange(10.0), 0)
+
+    def test_assign_ranges_boundaries(self):
+        boundaries = np.array([1.0, 2.0])
+        values = np.array([0.5, 1.0, 1.5, 2.5])
+        np.testing.assert_array_equal(assign_ranges(values, boundaries), [0, 1, 1, 2])
+
+
+class TestOrderings:
+    def test_row_major_key_is_primary_dimension(self, rng):
+        matrix = rng.uniform(size=(20, 3))
+        np.testing.assert_array_equal(row_major_key(matrix), matrix[:, 0])
+        np.testing.assert_array_equal(row_major_key(matrix, 2), matrix[:, 2])
+
+    def test_row_major_invalid_dimension(self, rng):
+        with pytest.raises(PartitioningError):
+            row_major_key(rng.uniform(size=(5, 2)), 7)
+
+    def test_morton_key_locality(self):
+        """Points that are close in space should receive closer Morton keys than
+        points far apart (on average), which is what makes blocks square-ish."""
+        near_a = np.array([[0.1, 0.1]])
+        near_b = np.array([[0.12, 0.11]])
+        far = np.array([[0.9, 0.95]])
+        bounds = (np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        key_a = morton_key(near_a, *bounds)[0]
+        key_b = morton_key(near_b, *bounds)[0]
+        key_far = morton_key(far, *bounds)[0]
+        assert abs(int(key_a) - int(key_b)) < abs(int(key_a) - int(key_far))
+
+    def test_morton_key_empty(self):
+        assert morton_key(np.empty((0, 2))).size == 0
+
+    def test_ordering_key_dispatch(self, rng):
+        matrix = rng.uniform(size=(10, 2))
+        np.testing.assert_array_equal(ordering_key(matrix, "row-major"), matrix[:, 0])
+        assert ordering_key(matrix, "block").shape == (10,)
+        with pytest.raises(PartitioningError):
+            ordering_key(matrix, "zigzag")
+
+
+def _toy_matrix(n_rows=6, n_cols=6, band=1) -> CoarsenedMatrix:
+    """A diagonal-band candidate matrix with uniform inputs."""
+    candidate = np.zeros((n_rows, n_cols), dtype=bool)
+    for i in range(n_rows):
+        for j in range(n_cols):
+            if abs(i - j) <= band:
+                candidate[i, j] = True
+    output = np.where(candidate, 10.0, 0.0)
+    return CoarsenedMatrix(
+        s_row_input=np.full(n_rows, 100.0),
+        t_col_input=np.full(n_cols, 100.0),
+        cell_output=output,
+        candidate=candidate,
+    )
+
+
+class TestRectangle:
+    def test_rectangle_properties(self):
+        rect = Rectangle(0, 2, 1, 4)
+        assert rect.n_cells == 6
+        assert rect.contains_cell(1, 3)
+        assert not rect.contains_cell(2, 3)
+
+    def test_empty_rectangle_rejected(self):
+        with pytest.raises(PartitioningError):
+            Rectangle(0, 0, 0, 1)
+
+    def test_rectangle_load(self):
+        matrix = _toy_matrix()
+        rect = Rectangle(0, 2, 0, 3)
+        load = matrix.rectangle_load(rect, LoadWeights())
+        expected_input = 2 * 100 + 3 * 100
+        expected_output = matrix.cell_output[0:2, 0:3].sum()
+        assert load == pytest.approx(4 * expected_input + expected_output)
+
+
+class TestCoverMatrix:
+    def test_cover_respects_worker_budget(self):
+        matrix = _toy_matrix()
+        cover = cover_matrix(matrix, workers=4, weights=LoadWeights())
+        assert 1 <= cover.n_rectangles <= 4
+        cover.validate_covers(matrix)
+
+    def test_cover_is_cell_disjoint_and_complete(self):
+        matrix = _toy_matrix(n_rows=10, n_cols=10, band=2)
+        cover = cover_matrix(matrix, workers=6, weights=LoadWeights())
+        cover.validate_covers(matrix)
+
+    def test_more_workers_reduce_max_load(self):
+        matrix = _toy_matrix(n_rows=12, n_cols=12, band=1)
+        few = cover_matrix(matrix, workers=2, weights=LoadWeights())
+        many = cover_matrix(matrix, workers=8, weights=LoadWeights())
+        assert many.max_load <= few.max_load
+
+    def test_skewed_rows_get_more_rectangles(self):
+        """A row group holding most of the load should receive most of the
+        rectangle budget."""
+        n = 8
+        candidate = np.ones((n, n), dtype=bool)
+        s_input = np.full(n, 10.0)
+        s_input[0] = 1000.0
+        matrix = CoarsenedMatrix(
+            s_row_input=s_input,
+            t_col_input=np.full(n, 10.0),
+            cell_output=np.zeros((n, n)),
+            candidate=candidate,
+        )
+        cover = cover_matrix(matrix, workers=6, weights=LoadWeights())
+        cover.validate_covers(matrix)
+        first_row_group = cover.row_group_of_row[0]
+        assert len(cover.rectangles_of_group(first_row_group)) >= 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(OptimizationError):
+            cover_matrix(_toy_matrix(), workers=0, weights=LoadWeights())
+
+    def test_matrix_without_candidates(self):
+        matrix = CoarsenedMatrix(
+            s_row_input=np.full(3, 10.0),
+            t_col_input=np.full(3, 10.0),
+            cell_output=np.zeros((3, 3)),
+            candidate=np.zeros((3, 3), dtype=bool),
+        )
+        with pytest.raises(OptimizationError):
+            cover_matrix(matrix, workers=2, weights=LoadWeights())
+
+    def test_total_load_helper(self):
+        matrix = _toy_matrix()
+        assert matrix.total_load(LoadWeights()) == pytest.approx(
+            4 * (600 + 600) + matrix.cell_output.sum()
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(OptimizationError):
+            CoarsenedMatrix(
+                s_row_input=np.ones(2),
+                t_col_input=np.ones(3),
+                cell_output=np.zeros((3, 3)),
+                candidate=np.zeros((2, 3), dtype=bool),
+            )

@@ -1,0 +1,151 @@
+"""Tests for axis-aligned regions (repro.geometry.region)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitioningError
+from repro.geometry.region import Region
+
+
+class TestConstruction:
+    def test_full_space_is_unbounded(self):
+        region = Region.full_space(3)
+        assert region.dimensionality == 3
+        assert not region.is_bounded()
+        assert region.volume() == np.inf
+
+    def test_from_bounds(self):
+        region = Region.from_bounds([0, 0], [1, 2])
+        assert region.extent(0) == 1
+        assert region.extent(1) == 2
+        assert region.volume() == 2
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PartitioningError):
+            Region.from_bounds([0.0], [0.0])
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(PartitioningError):
+            Region.from_bounds([1.0], [0.0])
+
+    def test_mismatched_dimensionality_rejected(self):
+        with pytest.raises(PartitioningError):
+            Region((0.0, 0.0), (1.0,))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(PartitioningError):
+            Region.full_space(0)
+
+
+class TestMembership:
+    def test_contains_is_half_open(self):
+        region = Region.from_bounds([0.0], [1.0])
+        points = np.array([[0.0], [0.5], [1.0]])
+        np.testing.assert_array_equal(region.contains(points), [True, True, False])
+
+    def test_contains_multidimensional(self):
+        region = Region.from_bounds([0, 0], [1, 1])
+        points = np.array([[0.5, 0.5], [0.5, 1.5], [-0.1, 0.5]])
+        np.testing.assert_array_equal(region.contains(points), [True, False, False])
+
+    def test_contains_wrong_dimensionality(self):
+        region = Region.from_bounds([0, 0], [1, 1])
+        with pytest.raises(PartitioningError):
+            region.contains(np.zeros((2, 3)))
+
+    def test_intersects_boxes(self):
+        region = Region.from_bounds([0.0], [1.0])
+        lower = np.array([[-0.5], [0.9], [1.0], [2.0]])
+        upper = np.array([[-0.1], [1.5], [1.5], [3.0]])
+        # Box [1.0, 1.5] touches the region boundary at 1.0, which is excluded
+        # from the half-open region, so it does not intersect.
+        np.testing.assert_array_equal(
+            region.intersects_boxes(lower, upper), [False, True, False, False]
+        )
+
+    def test_contains_region_and_intersects_region(self):
+        outer = Region.from_bounds([0, 0], [10, 10])
+        inner = Region.from_bounds([1, 1], [2, 2])
+        separate = Region.from_bounds([20, 20], [30, 30])
+        assert outer.contains_region(inner)
+        assert not inner.contains_region(outer)
+        assert outer.intersects_region(inner)
+        assert not outer.intersects_region(separate)
+
+
+class TestSplit:
+    def test_split_produces_exact_partition(self):
+        region = Region.from_bounds([0.0, 0.0], [4.0, 4.0])
+        left, right = region.split(0, 1.5)
+        assert left.upper[0] == 1.5
+        assert right.lower[0] == 1.5
+        points = np.random.default_rng(0).uniform(0, 4, size=(200, 2))
+        in_left = left.contains(points)
+        in_right = right.contains(points)
+        # Every point of the parent is in exactly one child.
+        assert np.array_equal(in_left ^ in_right, region.contains(points))
+        assert not np.any(in_left & in_right)
+
+    def test_split_outside_interval_rejected(self):
+        region = Region.from_bounds([0.0], [1.0])
+        with pytest.raises(PartitioningError):
+            region.split(0, 1.0)
+        with pytest.raises(PartitioningError):
+            region.split(0, -0.5)
+
+    def test_split_bad_dimension_rejected(self):
+        region = Region.from_bounds([0.0], [1.0])
+        with pytest.raises(PartitioningError):
+            region.split(2, 0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        split=st.floats(0.01, 0.99),
+        points=st.lists(st.floats(0, 1, exclude_max=True), min_size=1, max_size=30),
+    )
+    def test_split_never_loses_points(self, split, points):
+        region = Region.from_bounds([0.0], [1.0])
+        left, right = region.split(0, split)
+        arr = np.array(points)[:, None]
+        assert np.all(left.contains(arr) | right.contains(arr))
+        assert not np.any(left.contains(arr) & right.contains(arr))
+
+
+class TestSmallness:
+    def test_is_small_requires_all_dimensions(self):
+        region = Region.from_bounds([0, 0], [1.0, 10.0])
+        eps = np.array([1.0, 1.0])
+        assert not region.is_small(eps, factor=2.0)
+        small = Region.from_bounds([0, 0], [1.0, 1.5])
+        assert small.is_small(eps, factor=2.0)
+
+    def test_zero_band_width_dimension_never_small(self):
+        region = Region.from_bounds([0, 0], [0.5, 0.5])
+        eps = np.array([0.0, 1.0])
+        assert not region.is_small(eps, factor=2.0)
+
+    def test_is_small_in_dimension(self):
+        region = Region.from_bounds([0.0], [3.0])
+        assert region.is_small_in_dimension(0, 2.0, factor=2.0)
+        assert not region.is_small_in_dimension(0, 1.0, factor=2.0)
+
+    def test_is_small_shape_mismatch(self):
+        region = Region.from_bounds([0.0], [3.0])
+        with pytest.raises(PartitioningError):
+            region.is_small(np.array([1.0, 1.0]))
+
+
+class TestClip:
+    def test_clip_to_data_bounds(self):
+        region = Region.full_space(2)
+        clipped = region.clip_to(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert clipped.is_bounded()
+        assert clipped.lower == (0.0, 0.0)
+
+    def test_repr_shows_intervals(self):
+        region = Region.from_bounds([0.0], [1.0])
+        assert "[0," in repr(region).replace(" ", "")

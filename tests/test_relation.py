@@ -1,0 +1,116 @@
+"""Tests for the column-store Relation (repro.data.relation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation(
+        "R",
+        {
+            "a": np.array([1.0, 2.0, 3.0, 4.0]),
+            "b": np.array([10.0, 20.0, 30.0, 40.0]),
+            "label": np.array([0, 1, 0, 1]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, relation):
+        assert len(relation) == 4
+        assert relation.name == "R"
+        assert relation.column_names == ("a", "b", "label")
+        assert relation.num_columns == 3
+        assert "a" in relation
+        assert "missing" not in relation
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", {})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", {"a": np.zeros((2, 2))})
+
+    def test_missing_column_access(self, relation):
+        with pytest.raises(SchemaError):
+            relation.column("missing")
+
+    def test_getitem(self, relation):
+        np.testing.assert_array_equal(relation["a"], [1.0, 2.0, 3.0, 4.0])
+
+
+class TestProjections:
+    def test_join_matrix_order_follows_request(self, relation):
+        matrix = relation.join_matrix(["b", "a"])
+        np.testing.assert_array_equal(matrix[:, 0], relation["b"])
+        np.testing.assert_array_equal(matrix[:, 1], relation["a"])
+
+    def test_join_matrix_missing_attribute(self, relation):
+        with pytest.raises(SchemaError):
+            relation.join_matrix(["a", "zzz"])
+
+    def test_join_matrix_empty_attribute_list(self, relation):
+        with pytest.raises(SchemaError):
+            relation.join_matrix([])
+
+    def test_take_preserves_schema(self, relation):
+        subset = relation.take(np.array([0, 2]))
+        assert len(subset) == 2
+        np.testing.assert_array_equal(subset["a"], [1.0, 3.0])
+
+    def test_head(self, relation):
+        assert len(relation.head(2)) == 2
+        assert len(relation.head(100)) == 4
+
+    def test_sample_without_replacement_caps_at_size(self, relation, rng):
+        assert len(relation.sample(100, rng)) == 4
+        assert len(relation.sample(2, rng)) == 2
+
+    def test_sample_with_replacement(self, relation, rng):
+        sampled = relation.sample(10, rng, replace=True)
+        assert len(sampled) == 10
+
+    def test_concat(self, relation):
+        combined = relation.concat(relation)
+        assert len(combined) == 8
+
+    def test_concat_schema_mismatch(self, relation):
+        other = Relation("X", {"a": np.arange(2)})
+        with pytest.raises(SchemaError):
+            relation.concat(other)
+
+
+class TestStatistics:
+    def test_bounds(self, relation):
+        lower, upper = relation.bounds(["a", "b"])
+        np.testing.assert_array_equal(lower, [1.0, 10.0])
+        np.testing.assert_array_equal(upper, [4.0, 40.0])
+
+    def test_describe(self, relation):
+        summary = relation.describe()
+        assert summary["a"]["min"] == 1.0
+        assert summary["b"]["max"] == 40.0
+
+    def test_to_dict_is_shallow_copy(self, relation):
+        as_dict = relation.to_dict()
+        assert set(as_dict) == {"a", "b", "label"}
+
+    def test_rename_shares_columns(self, relation):
+        renamed = relation.rename("S")
+        assert renamed.name == "S"
+        assert renamed["a"] is relation["a"]
+
+    def test_repr(self, relation):
+        assert "R" in repr(relation)
+        assert "rows=4" in repr(relation)

@@ -1,0 +1,140 @@
+"""Tests for input and output sampling (repro.sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import correlated_pair, uniform_relation
+from repro.exceptions import SamplingError
+from repro.geometry.band import BandCondition
+from repro.local_join.base import join_pair_count
+from repro.sampling.input_sampler import draw_input_sample
+from repro.sampling.output_sampler import draw_output_sample
+
+
+class TestInputSampler:
+    def test_sample_shapes_and_scales(self, rng):
+        s, t = correlated_pair(4000, 2000, dimensions=2, seed=0)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.1)
+        sample = draw_input_sample(s, t, condition, 1000, rng)
+        assert sample.s_values.shape == (500, 2)
+        assert sample.t_values.shape == (500, 2)
+        assert sample.s_scale == pytest.approx(4000 / 500)
+        assert sample.t_scale == pytest.approx(2000 / 500)
+        assert sample.total_input == 6000
+        assert sample.dimensionality == 2
+
+    def test_sample_larger_than_relation_uses_whole_relation(self, rng):
+        s, t = correlated_pair(100, 100, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        sample = draw_input_sample(s, t, condition, 10_000, rng)
+        assert sample.s_values.shape[0] == 100
+        assert sample.s_scale == 1.0
+
+    def test_combined_values(self, rng):
+        s, t = correlated_pair(500, 500, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        sample = draw_input_sample(s, t, condition, 200, rng)
+        assert sample.combined_values().shape[0] == (
+            sample.s_values.shape[0] + sample.t_values.shape[0]
+        )
+
+    def test_data_bounds_cover_sample(self, rng):
+        s, t = correlated_pair(1000, 1000, dimensions=3, seed=0)
+        condition = BandCondition.symmetric(["A1", "A2", "A3"], 0.1)
+        sample = draw_input_sample(s, t, condition, 512, rng)
+        lower, upper = sample.data_bounds()
+        combined = sample.combined_values()
+        assert np.all(combined >= lower)
+        assert np.all(combined <= upper)
+
+    def test_data_bounds_with_padding(self, rng):
+        s, t = correlated_pair(500, 500, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.5)
+        sample = draw_input_sample(s, t, condition, 200, rng)
+        lower_plain, upper_plain = sample.data_bounds()
+        lower_padded, upper_padded = sample.data_bounds(padding=np.array([2.0]))
+        assert lower_padded[0] < lower_plain[0]
+        assert upper_padded[0] > upper_plain[0]
+
+    def test_sample_size_validation(self, rng):
+        s, t = correlated_pair(100, 100, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        with pytest.raises(SamplingError):
+            draw_input_sample(s, t, condition, 1, rng)
+
+    def test_scales_convert_counts_to_estimates(self, rng):
+        """Scaled sample counts over a predicate approximate the true count."""
+        s = uniform_relation("S", 20_000, dimensions=1, seed=0)
+        t = uniform_relation("T", 20_000, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        sample = draw_input_sample(s, t, condition, 4000, rng)
+        true_below = float(np.sum(s["A1"] < 0.5))
+        estimated_below = float(np.sum(sample.s_values[:, 0] < 0.5)) * sample.s_scale
+        assert abs(estimated_below - true_below) / true_below < 0.15
+
+
+class TestOutputSampler:
+    def test_output_sample_estimates_total_output(self, rng):
+        s = uniform_relation("S", 5000, dimensions=1, seed=0)
+        t = uniform_relation("T", 5000, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.01)
+        sample = draw_output_sample(s, t, condition, 500, rng, initial_fraction=0.1)
+        exact = join_pair_count(s.join_matrix(["A1"]), t.join_matrix(["A1"]), condition)
+        assert exact > 0
+        assert 0.5 * exact < sample.estimated_output < 1.6 * exact
+
+    def test_sampled_pairs_actually_join(self, rng):
+        s, t = correlated_pair(3000, 3000, dimensions=2, z=1.5, seed=1)
+        condition = BandCondition.symmetric(["A1", "A2"], 0.1)
+        sample = draw_output_sample(s, t, condition, 300, rng)
+        if len(sample):
+            assert condition.matches(sample.s_coords, sample.t_coords).all()
+
+    def test_empty_join_gives_empty_sample(self, rng):
+        s = uniform_relation("S", 500, dimensions=1, low=0.0, high=1.0, seed=0)
+        t = uniform_relation("T", 500, dimensions=1, low=100.0, high=101.0, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.5)
+        sample = draw_output_sample(s, t, condition, 100, rng)
+        assert sample.is_empty
+        assert sample.estimated_output == 0.0
+        assert sample.pair_scale == 0.0
+
+    def test_empty_relation(self, rng):
+        s = uniform_relation("S", 0, dimensions=1, seed=0)
+        t = uniform_relation("T", 10, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.5)
+        sample = draw_output_sample(s, t, condition, 10, rng)
+        assert sample.is_empty
+
+    def test_sample_capped_at_requested_size(self, rng):
+        s = uniform_relation("S", 2000, dimensions=1, seed=0)
+        t = uniform_relation("T", 2000, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.2)  # huge output
+        sample = draw_output_sample(s, t, condition, 64, rng, initial_fraction=0.2)
+        assert len(sample) <= 64
+        assert sample.pair_scale > 0
+
+    def test_progressive_growth_for_small_output(self, rng):
+        """A very selective join forces the sampler to enlarge its cross-sample."""
+        s = uniform_relation("S", 4000, dimensions=1, seed=0)
+        t = uniform_relation("T", 4000, dimensions=1, seed=1)
+        condition = BandCondition.symmetric(["A1"], 1e-4)
+        sample = draw_output_sample(
+            s, t, condition, 200, rng, initial_fraction=0.01, max_fraction=0.5
+        )
+        # The exact output is ~ 4000*4000*2e-4 = 3200, so some pairs must be found.
+        assert len(sample) > 0
+
+    def test_parameter_validation(self, rng):
+        s, t = correlated_pair(100, 100, dimensions=1, seed=0)
+        condition = BandCondition.symmetric(["A1"], 0.5)
+        with pytest.raises(SamplingError):
+            draw_output_sample(s, t, condition, 0, rng)
+        with pytest.raises(SamplingError):
+            draw_output_sample(s, t, condition, 10, rng, initial_fraction=0.0)
+        with pytest.raises(SamplingError):
+            draw_output_sample(s, t, condition, 10, rng, initial_fraction=0.6, max_fraction=0.5)
+        with pytest.raises(SamplingError):
+            draw_output_sample(s, t, condition, 10, rng, growth=1.0)

@@ -1,0 +1,232 @@
+"""Tests for the split tree and its routing (repro.core.split_tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LoadWeights
+from repro.core.partition import OptimizationContext
+from repro.core.split import SplitDecision, find_best_split
+from repro.core.scoring import SplitScore
+from repro.core.split_tree import SplitTree
+from repro.data.generators import correlated_pair
+from repro.exceptions import PartitioningError
+from repro.geometry.band import BandCondition
+from repro.sampling.input_sampler import draw_input_sample
+from repro.sampling.output_sampler import draw_output_sample
+
+
+@pytest.fixture
+def context(rng) -> OptimizationContext:
+    s, t = correlated_pair(2500, 2500, dimensions=2, z=1.5, seed=9)
+    condition = BandCondition.symmetric(["A1", "A2"], 0.05)
+    return OptimizationContext(
+        condition=condition,
+        workers=4,
+        weights=LoadWeights(),
+        input_sample=draw_input_sample(s, t, condition, 1500, rng),
+        output_sample=draw_output_sample(s, t, condition, 500, rng),
+    )
+
+
+def _manual_split(dim: int, value: float, side: str = "T") -> SplitDecision:
+    return SplitDecision(
+        kind="regular",
+        score=SplitScore.from_deltas(1.0, 0.0),
+        variance_reduction=1.0,
+        duplication_increase=0.0,
+        dimension=dim,
+        value=value,
+        duplicated_side=side,
+    )
+
+
+class TestSplitTreeGrowth:
+    def test_initial_tree_has_single_leaf(self, context):
+        tree = SplitTree(context)
+        assert tree.n_leaves == 1
+        assert tree.root.is_leaf
+        root_leaf = tree.root.leaf
+        assert root_leaf.s_rows.size == context.input_sample.s_values.shape[0]
+
+    def test_regular_split_creates_two_children(self, context):
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        children = tree.apply_split(tree.root.node_id, _manual_split(0, median))
+        assert len(children) == 2
+        assert tree.n_leaves == 2
+        assert not tree.root.is_leaf
+
+    def test_sample_conservation_for_partitioned_side(self, context):
+        """The partitioned side (S for a T-split) is split without duplication."""
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        left, right = tree.apply_split(tree.root.node_id, _manual_split(0, median, side="T"))
+        n_s = context.input_sample.s_values.shape[0]
+        assert left.s_rows.size + right.s_rows.size == n_s
+        assert np.intersect1d(left.s_rows, right.s_rows).size == 0
+
+    def test_duplicated_side_can_overlap(self, context):
+        tree = SplitTree(context)
+        # Split right through the dense region so T tuples straddle the boundary.
+        dense_value = float(np.quantile(context.input_sample.t_values[:, 0], 0.2))
+        left, right = tree.apply_split(
+            tree.root.node_id, _manual_split(0, dense_value, side="T")
+        )
+        n_t = context.input_sample.t_values.shape[0]
+        assert left.t_rows.size + right.t_rows.size >= n_t
+        # Duplicated sample tuples are exactly those within band width of the boundary.
+        epsilon = context.epsilons[0]
+        values = context.input_sample.t_values[:, 0]
+        expected_duplicates = int(
+            np.count_nonzero((values >= dense_value - epsilon) & (values < dense_value + epsilon))
+        )
+        assert (left.t_rows.size + right.t_rows.size) - n_t == expected_duplicates
+
+    def test_output_ownership_is_disjoint(self, context):
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        left, right = tree.apply_split(tree.root.node_id, _manual_split(0, median))
+        n_out = len(context.output_sample)
+        assert left.out_rows.size + right.out_rows.size == n_out
+
+    def test_grid_split_updates_leaf_in_place(self, context):
+        tree = SplitTree(context)
+        decision = SplitDecision(
+            kind="grid",
+            score=SplitScore.from_deltas(1.0, 1.0),
+            variance_reduction=1.0,
+            duplication_increase=1.0,
+            grid_increment="row",
+        )
+        (leaf,) = tree.apply_split(tree.root.node_id, decision)
+        assert leaf.grid_rows == 2
+        assert tree.n_leaves == 1
+
+    def test_cannot_split_inner_node(self, context):
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        tree.apply_split(tree.root.node_id, _manual_split(0, median))
+        with pytest.raises(PartitioningError):
+            tree.apply_split(tree.root.node_id, _manual_split(1, median))
+
+    def test_snapshot_reflects_leaves(self, context):
+        tree = SplitTree(context)
+        snapshot0 = tree.snapshot()
+        assert snapshot0 == {tree.root.node_id: (1, 1)}
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        tree.apply_split(tree.root.node_id, _manual_split(0, median))
+        snapshot1 = tree.snapshot()
+        assert len(snapshot1) == 2
+        assert tree.root.node_id not in snapshot1
+
+
+class TestRouting:
+    def _grown_tree(self, context, n_splits=6):
+        tree = SplitTree(context)
+        for _ in range(n_splits):
+            # Greedily split the best leaf, like the real optimizer.
+            best_leaf, best_decision = None, None
+            for leaf in tree.leaves():
+                decision = find_best_split(leaf, context)
+                if decision is None:
+                    continue
+                if best_decision is None or decision.score > best_decision.score:
+                    best_leaf, best_decision = leaf, decision
+            if best_decision is None:
+                break
+            tree.apply_split(best_leaf.node_id, best_decision)
+        return tree
+
+    def test_routing_covers_every_tuple(self, context, rng):
+        tree = self._grown_tree(context)
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=4, method="test")
+        s, t = correlated_pair(2000, 2000, dimensions=2, z=1.5, seed=100)
+        for relation, side in ((s, "S"), (t, "T")):
+            matrix = relation.join_matrix(context.condition.attributes)
+            rows, units = partitioning.route(matrix, side)
+            assert rows.size >= matrix.shape[0]
+            covered = np.zeros(matrix.shape[0], dtype=bool)
+            covered[rows] = True
+            assert covered.all()
+            assert units.min() >= 0 and units.max() < partitioning.n_units
+
+    def test_partitioned_side_routed_to_exactly_one_unit(self, context):
+        """With only T-splits in the tree, S-tuples are never duplicated."""
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        tree.apply_split(tree.root.node_id, _manual_split(0, median, side="T"))
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=2, method="test")
+        s, _ = correlated_pair(1000, 1000, dimensions=2, z=1.5, seed=5)
+        matrix = s.join_matrix(context.condition.attributes)
+        rows, _ = partitioning.route(matrix, "S")
+        assert rows.size == matrix.shape[0]
+
+    def test_every_joining_pair_meets_in_exactly_one_unit(self, context):
+        """Definition 1: every output pair is produced by exactly one local join."""
+        tree = self._grown_tree(context, n_splits=8)
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=4, method="test")
+        s, t = correlated_pair(600, 600, dimensions=2, z=1.5, seed=77)
+        attrs = context.condition.attributes
+        s_matrix, t_matrix = s.join_matrix(attrs), t.join_matrix(attrs)
+        s_rows, s_units = partitioning.route(s_matrix, "S")
+        t_rows, t_units = partitioning.route(t_matrix, "T")
+        s_map = {}
+        for row, unit in zip(s_rows, s_units):
+            s_map.setdefault(int(row), set()).add(int(unit))
+        t_map = {}
+        for row, unit in zip(t_rows, t_units):
+            t_map.setdefault(int(row), set()).add(int(unit))
+        from repro.local_join.nested_loop import NestedLoopJoin
+
+        pairs = NestedLoopJoin().join(s_matrix, t_matrix, context.condition)
+        for s_idx, t_idx in pairs[:: max(1, pairs.shape[0] // 500)]:
+            shared = s_map[int(s_idx)] & t_map[int(t_idx)]
+            assert len(shared) == 1, f"pair ({s_idx}, {t_idx}) meets in {len(shared)} units"
+
+    def test_snapshot_routing_ignores_later_splits(self, context):
+        tree = SplitTree(context)
+        median = float(np.median(context.input_sample.s_values[:, 0]))
+        tree.apply_split(tree.root.node_id, _manual_split(0, median))
+        early_snapshot = tree.snapshot()
+        # Grow the tree further; the early snapshot must still route to 2 units.
+        for leaf in list(tree.leaves()):
+            decision = find_best_split(leaf, context)
+            if decision is not None and decision.kind == "regular":
+                tree.apply_split(leaf.node_id, decision)
+        partitioning = tree.build_partitioning(early_snapshot, workers=2, method="test")
+        assert partitioning.n_units == 2
+
+    def test_empty_snapshot_rejected(self, context):
+        tree = SplitTree(context)
+        with pytest.raises(PartitioningError):
+            tree.build_partitioning({}, workers=2, method="test")
+
+    def test_route_validates_dimensionality(self, context):
+        tree = SplitTree(context)
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=2, method="test")
+        with pytest.raises(PartitioningError):
+            partitioning.route(np.zeros((5, 3)), "S")
+
+    def test_small_leaf_grid_routing_replicates(self, context):
+        tree = SplitTree(context)
+        leaf = tree.root.leaf
+        leaf.grid_rows, leaf.grid_cols = 2, 3
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=6, method="test")
+        assert partitioning.n_units == 6
+        s, t = correlated_pair(200, 200, dimensions=2, seed=3)
+        matrix = s.join_matrix(context.condition.attributes)
+        rows_s, units_s = partitioning.route(matrix, "S")
+        rows_t, units_t = partitioning.route(matrix, "T")
+        # Every S-tuple goes to all 3 columns of its row; every T-tuple to all 2 rows.
+        assert rows_s.size == matrix.shape[0] * 3
+        assert rows_t.size == matrix.shape[0] * 2
+
+    def test_describe_and_leaf_regions(self, context):
+        tree = self._grown_tree(context, n_splits=3)
+        partitioning = tree.build_partitioning(tree.snapshot(), workers=4, method="test")
+        info = partitioning.describe()
+        assert info["leaves"] == partitioning.n_leaves
+        assert len(partitioning.leaf_regions()) == partitioning.n_leaves
+        assert partitioning.estimated_unit_loads().shape[0] == partitioning.n_units

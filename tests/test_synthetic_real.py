@@ -1,0 +1,90 @@
+"""Tests for the synthetic stand-ins of the paper's real datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_real import (
+    SPATIOTEMPORAL_ATTRIBUTES,
+    cloud_reports_like,
+    ebird_cloud_pair,
+    ebird_like,
+    ptf_objects_like,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestEbirdLike:
+    def test_schema_and_ranges(self):
+        rel = ebird_like(2000, seed=0)
+        for attribute in SPATIOTEMPORAL_ATTRIBUTES:
+            assert attribute in rel
+        assert rel["latitude"].min() >= -90 and rel["latitude"].max() <= 90
+        assert rel["longitude"].min() >= -180 and rel["longitude"].max() <= 180
+        assert rel["time"].min() >= 0
+        assert "species" in rel and "count" in rel
+
+    def test_spatial_clustering(self):
+        """Observations should concentrate in a few hot spots, not spread uniformly."""
+        rel = ebird_like(5000, seed=0)
+        lat = rel["latitude"]
+        hist, _ = np.histogram(lat, bins=36, range=(-90, 90))
+        # The densest bin should hold far more than a uniform share.
+        assert hist.max() > 3 * (len(rel) / 36)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            ebird_like(-5)
+
+    def test_deterministic(self):
+        a = ebird_like(500, seed=3)
+        b = ebird_like(500, seed=3)
+        np.testing.assert_array_equal(a["latitude"], b["latitude"])
+
+
+class TestCloudReportsLike:
+    def test_schema(self):
+        rel = cloud_reports_like(1000, seed=1)
+        assert "precipitation" in rel and "temperature" in rel
+        for attribute in SPATIOTEMPORAL_ATTRIBUTES:
+            assert attribute in rel
+
+    def test_hotspot_overlap_creates_correlated_skew(self):
+        """With full overlap, weather hot spots coincide with ebird hot spots."""
+        birds = ebird_like(4000, seed=0)
+        weather = cloud_reports_like(4000, seed=1, hotspot_overlap=1.0)
+        # Compare the densest latitude bins of both relations: they should share bins.
+        bird_hist, edges = np.histogram(birds["latitude"], bins=18, range=(-90, 90))
+        cloud_hist, _ = np.histogram(weather["latitude"], bins=18, range=(-90, 90))
+        top_bird = set(np.argsort(bird_hist)[-5:])
+        top_cloud = set(np.argsort(cloud_hist)[-5:])
+        assert top_bird & top_cloud
+
+    def test_invalid_overlap(self):
+        with pytest.raises(WorkloadError):
+            cloud_reports_like(10, hotspot_overlap=1.5)
+
+    def test_pair_helper(self):
+        s, t = ebird_cloud_pair(300, seed=0)
+        assert len(s) == len(t) == 300
+
+
+class TestPtfObjectsLike:
+    def test_schema_and_ranges(self):
+        rel = ptf_objects_like(2000, seed=2)
+        assert set(rel.column_names) >= {"ra", "dec", "magnitude", "mjd"}
+        assert rel["ra"].min() >= 0 and rel["ra"].max() < 360
+
+    def test_repeat_observations_within_arcseconds(self):
+        """The generator must produce repeat observations of the same source
+        within a few arc seconds, otherwise the paper's self-match has no output."""
+        rel = ptf_objects_like(4000, seed=2)
+        ra = np.sort(rel["ra"])
+        gaps = np.diff(ra)
+        arcsec = 2.78e-4
+        assert np.mean(gaps < 2 * arcsec) > 0.05
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            ptf_objects_like(-1)
