@@ -1,0 +1,192 @@
+"""Benchmark of the parallel execution engine backends.
+
+Compares the ``serial``, ``threads`` and ``processes`` backends of
+:mod:`repro.engine` on a Table-2-style Pareto workload: RecPart optimizes
+once (every backend executes the *same* partitioning through a shared plan
+cache), then each backend runs the full reduce phase and the best wall-clock
+of ``repeat`` runs is recorded.
+
+Besides the rendered table the benchmark emits a machine-readable perf
+record to ``BENCH_engine.json`` at the repository root (override with
+``REPRO_BENCH_ENGINE_OUT``): per-backend wall-clock, speedups vs. the
+serial reference, workload shape and machine facts, plus the output-count
+cross-check (every backend must produce exactly the serial count).
+
+Run standalone for the full-size (100k tuples per input) measurement::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+or under pytest together with the other benchmarks (scaled by
+``REPRO_BENCH_SCALE``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+from repro.engine import ParallelJoinEngine, PlanCache  # noqa: E402
+from repro.experiments.workloads import pareto_workload  # noqa: E402
+from repro.metrics.report import format_table  # noqa: E402
+
+#: Full-size benchmark shape (Table-2-style: 2-d Pareto-1.5 band join).
+FULL_ROWS_PER_INPUT = 100_000
+BAND_WIDTH = 0.01
+DIMENSIONS = 2
+SKEW = 1.5
+WORKERS = 8
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_engine_benchmark(rows_per_input: int, repeat: int = 2) -> dict:
+    """Run every backend on one workload and return the perf record."""
+    workload = pareto_workload(
+        BAND_WIDTH,
+        dimensions=DIMENSIONS,
+        skew=SKEW,
+        rows_per_input=rows_per_input,
+        workers=WORKERS,
+    )
+    s, t, condition = workload.build()
+    cache = PlanCache()
+    # Warm-up: optimize the plan once and run the join untimed, so the first
+    # measured backend is not charged for page faults, allocator growth and
+    # CPU cache warm-up (without this, whichever backend runs first looks
+    # ~2-3x slower than the rest).
+    warmup = ParallelJoinEngine(backend="serial", plan_cache=cache).join(
+        s, t, condition, workers=WORKERS
+    )
+    record: dict = {
+        "benchmark": "engine-backends",
+        "workload": {
+            "name": workload.name,
+            "rows_per_input": rows_per_input,
+            "dimensions": DIMENSIONS,
+            "band_width": BAND_WIDTH,
+            "skew": SKEW,
+            "workers": WORKERS,
+        },
+        "machine": {
+            "cpus": _cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "repeat": repeat,
+        "plan": {
+            "method": warmup.partitioning.method,
+            "optimization_seconds": warmup.optimization_seconds,
+            "units": warmup.partitioning.n_units,
+            "total_input": warmup.total_input,
+            "duplication_ratio": warmup.duplication_ratio,
+        },
+        "backends": {},
+    }
+    serial_seconds: float | None = None
+    reference_output = warmup.total_output
+    for backend in BACKENDS:
+        engine = ParallelJoinEngine(backend=backend, plan_cache=cache)
+        best = None
+        for _ in range(max(1, repeat)):
+            result = engine.join(s, t, condition, workers=WORKERS)
+            if best is None or result.execution_seconds < best.execution_seconds:
+                best = result
+        if best.total_output != reference_output:
+            raise AssertionError(
+                f"backend {backend!r} produced {best.total_output} pairs, "
+                f"expected {reference_output}"
+            )
+        if serial_seconds is None:
+            serial_seconds = best.execution_seconds
+        record["backends"][backend] = {
+            "execution_seconds": best.execution_seconds,
+            "wall_seconds": best.wall_seconds,
+            "routing_seconds": best.routing_seconds,
+            "output": best.total_output,
+            "speedup_vs_serial": (
+                serial_seconds / best.execution_seconds if best.execution_seconds else 1.0
+            ),
+            "worker_overlap": best.speedup,
+        }
+    record["output"] = reference_output
+    fastest = min(record["backends"], key=lambda b: record["backends"][b]["execution_seconds"])
+    record["fastest_backend"] = fastest
+    record["parallel_beats_serial"] = any(
+        record["backends"][b]["speedup_vs_serial"] > 1.0 for b in BACKENDS if b != "serial"
+    )
+    if record["machine"]["cpus"] < 2:
+        record["note"] = (
+            "machine exposes a single CPU: the parallel backends cannot beat the "
+            "serial reference here; re-run on a multi-core machine for the speedup"
+        )
+    return record
+
+
+def render(record: dict) -> str:
+    """Render the perf record as an aligned table."""
+    rows = [
+        [
+            backend,
+            facts["output"],
+            facts["routing_seconds"],
+            facts["execution_seconds"],
+            facts["speedup_vs_serial"],
+            facts["worker_overlap"],
+        ]
+        for backend, facts in record["backends"].items()
+    ]
+    title = (
+        f"engine backends on {record['workload']['name']} "
+        f"(|S|=|T|={record['workload']['rows_per_input']:,}, w={WORKERS}, "
+        f"{record['machine']['cpus']} CPUs, fastest: {record['fastest_backend']})"
+    )
+    return format_table(
+        ["backend", "output", "route [s]", "exec [s]", "vs serial", "overlap"], rows, title=title
+    )
+
+
+def record_path() -> Path:
+    """Return the output path of the JSON perf record."""
+    override = os.environ.get("REPRO_BENCH_ENGINE_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def write_record(record: dict) -> Path:
+    """Write the JSON perf record and return its path."""
+    path = record_path()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_engine_backend_comparison():
+    """All backends agree on the output; the record lands in BENCH_engine.json."""
+    from conftest import bench_scale, write_report
+
+    rows = max(10_000, int(FULL_ROWS_PER_INPUT * bench_scale()))
+    record = run_engine_benchmark(rows)
+    outputs = {facts["output"] for facts in record["backends"].values()}
+    assert outputs == {record["output"]}
+    path = write_record(record)
+    write_report("engine_backends", render(record) + f"\n[record written to {path}]")
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else FULL_ROWS_PER_INPUT
+    perf_record = run_engine_benchmark(rows)
+    print(render(perf_record))
+    print(f"\n[record written to {write_record(perf_record)}]")

@@ -6,9 +6,10 @@ partitioner) together with every substrate its evaluation depends on:
 synthetic and real-data-shaped workload generators, input/output sampling,
 local band-join algorithms, the baseline partitioners (1-Bucket, Grid-eps,
 Grid*, CSIO, distributed IEJoin), a simulated MapReduce-style execution
-engine with per-worker accounting, the calibrated running-time model, and an
-experiment harness that regenerates every table and figure of the paper's
-evaluation section.
+engine with per-worker accounting, a real parallel execution engine with
+pluggable backends and plan caching (:mod:`repro.engine`), the calibrated
+running-time model, and an experiment harness that regenerates every table
+and figure of the paper's evaluation section.
 
 Quickstart
 ----------
@@ -21,7 +22,7 @@ Quickstart
 True
 """
 
-from repro.config import LoadWeights, RecPartConfig
+from repro.config import EngineConfig, LoadWeights, RecPartConfig
 from repro.exceptions import (
     BandConditionError,
     CostModelError,
@@ -67,6 +68,7 @@ from repro.baselines.csio import CSIOPartitioner
 from repro.baselines.iejoin import IEJoinPartitioner
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.executor import DistributedBandJoinExecutor, ExecutionResult
+from repro.engine import EngineResult, ParallelJoinEngine, PlanCache, available_backends
 from repro.cost.model import ModelCoefficients, RunningTimeModel, default_running_time_model
 from repro.cost.calibration import calibrate_running_time_model
 from repro.cost.lower_bounds import LowerBounds, compute_lower_bounds
@@ -130,6 +132,11 @@ __all__ = [
     "SimulatedCluster",
     "DistributedBandJoinExecutor",
     "ExecutionResult",
+    "ParallelJoinEngine",
+    "EngineResult",
+    "PlanCache",
+    "available_backends",
+    "EngineConfig",
     # cost model and metrics
     "ModelCoefficients",
     "RunningTimeModel",

@@ -4,6 +4,7 @@ Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
 ``python -m repro``.  Sub-commands:
 
 * ``demo``       — run one band-join with every partitioner and print the comparison.
+* ``engine``     — run one band-join on every execution backend and compare wall-clock.
 * ``table``      — reproduce one of the paper's tables (e.g. ``table 2b``).
 * ``figure4``    — reproduce the overhead scatter of Figures 4 / 10.
 * ``calibrate``  — calibrate the running-time model on this machine and print it.
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.config import ENGINE_BACKENDS
 from repro.experiments import workloads as wl
 from repro.metrics.report import format_table
 
@@ -36,6 +38,30 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--band-width", type=float, default=0.05, help="band width per dimension")
     demo.add_argument("--skew", type=float, default=1.5, help="Pareto skew parameter z")
     demo.add_argument("--verify", action="store_true", help="verify against a single-machine join")
+    demo.add_argument(
+        "--engine",
+        choices=ENGINE_BACKENDS,
+        default="simulated",
+        help="execution mode of the reduce phase (default: simulated)",
+    )
+
+    engine = subparsers.add_parser(
+        "engine", help="compare the execution backends on one workload"
+    )
+    engine.add_argument("--rows", type=int, default=100_000, help="tuples per input relation")
+    engine.add_argument("--workers", type=int, default=8, help="number of partition workers")
+    engine.add_argument("--dimensions", type=int, default=2, help="join dimensionality")
+    engine.add_argument("--band-width", type=float, default=0.01, help="band width per dimension")
+    engine.add_argument("--skew", type=float, default=1.5, help="Pareto skew parameter z")
+    engine.add_argument(
+        "--backends",
+        type=str,
+        default="serial,threads,processes",
+        help="comma-separated backend list to compare",
+    )
+    engine.add_argument(
+        "--repeat", type=int, default=1, help="executions per backend (best time is reported)"
+    )
 
     table = subparsers.add_parser("table", help="reproduce one paper table")
     table.add_argument("table_id", help="table identifier, e.g. 2a, 2b, 3, 4c, 5, 7, 9, 12, 15, 16")
@@ -71,11 +97,81 @@ def _command_demo(args: argparse.Namespace) -> int:
         include_recpart_symmetric=True, include_grid_star=True, include_iejoin=True
     )
     experiment = run_workload(
-        workload, partitioners=partitioners, verify="count" if args.verify else "none"
+        workload,
+        partitioners=partitioners,
+        verify="count" if args.verify else "none",
+        engine=args.engine,
     )
     print(experiment.format())
     best = experiment.best_method()
     print(f"\nfastest method (optimization + estimated join time): {best.method}")
+    return 0
+
+
+def _command_engine(args: argparse.Namespace) -> int:
+    from repro.engine import ParallelJoinEngine, PlanCache, available_backends
+    from repro.experiments.workloads import pareto_workload
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    unknown = [b for b in backends if b not in available_backends()]
+    if unknown:
+        print(f"unknown backends {unknown}; available: {', '.join(available_backends())}")
+        return 2
+    workload = pareto_workload(
+        args.band_width,
+        dimensions=args.dimensions,
+        skew=args.skew,
+        rows_per_input=args.rows,
+        workers=args.workers,
+    )
+    s, t, condition = workload.build()
+    # One shared plan cache: RecPart runs once, every backend executes the
+    # same partitioning, so the comparison isolates the execution substrate.
+    cache = PlanCache()
+    rows = []
+    reference_output: int | None = None
+    serial_seconds: float | None = None
+    for backend in backends:
+        engine = ParallelJoinEngine(backend=backend, plan_cache=cache)
+        best = None
+        paid_optimization = False
+        for _ in range(max(1, args.repeat)):
+            result = engine.join(s, t, condition, workers=args.workers)
+            paid_optimization = paid_optimization or not result.plan_from_cache
+            if best is None or result.execution_seconds < best.execution_seconds:
+                best = result
+        if reference_output is None:
+            reference_output = best.total_output
+        elif best.total_output != reference_output:
+            print(
+                f"backend {backend!r} produced {best.total_output} pairs, "
+                f"expected {reference_output}"
+            )
+            return 1
+        if serial_seconds is None:
+            serial_seconds = best.execution_seconds
+        rows.append(
+            [
+                backend,
+                best.total_output,
+                best.optimization_seconds if paid_optimization else 0.0,
+                best.execution_seconds,
+                serial_seconds / best.execution_seconds if best.execution_seconds else 1.0,
+                best.speedup,
+                "no" if paid_optimization else "yes",
+            ]
+        )
+    print(
+        format_table(
+            ["backend", "output", "opt [s]", "exec [s]", f"vs {backends[0]}", "overlap", "plan cached"],
+            rows,
+            title=(
+                f"{workload.name}: engine backend comparison "
+                f"(|S|=|T|={args.rows:,}, w={args.workers})"
+            ),
+        )
+    )
+    print(f"\nall backends produced identical output counts ({reference_output:,} pairs)")
     return 0
 
 
@@ -153,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "demo": _command_demo,
+        "engine": _command_engine,
         "table": _command_table,
         "figure4": _command_figure4,
         "calibrate": _command_calibrate,

@@ -50,6 +50,18 @@ SMALL_PARTITION_FACTOR: float = 2.0
 #: expected; the cap only guards against pathological configurations).
 MAX_ITERATIONS_PER_WORKER: int = 64
 
+#: Execution modes accepted everywhere an engine choice is taken:
+#: ``"simulated"`` is the legacy in-driver sequential path with per-worker
+#: accounting; the rest are real :mod:`repro.engine` backends.
+ENGINE_BACKENDS: tuple[str, ...] = ("simulated", "serial", "threads", "processes")
+
+#: Default execution mode (the simulated path keeps every existing
+#: experiment bit-for-bit reproducible).
+DEFAULT_ENGINE_BACKEND: str = "simulated"
+
+#: Default maximum number of cached partitioning plans.
+DEFAULT_PLAN_CACHE_SIZE: int = 32
+
 
 @dataclass(frozen=True)
 class LoadWeights:
@@ -80,6 +92,42 @@ class LoadWeights:
     def load(self, n_input: float, n_output: float) -> float:
         """Return the load induced by ``n_input`` input and ``n_output`` output tuples."""
         return self.beta_input * n_input + self.beta_output * n_output
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the parallel execution engine.
+
+    Attributes
+    ----------
+    backend:
+        Execution mode: ``"simulated"`` (legacy in-driver path) or one of
+        the real backends ``"serial"``, ``"threads"``, ``"processes"``.
+    max_parallelism:
+        Pool-size cap for pool-based backends; ``None`` uses every CPU
+        available to the process.
+    plan_cache_size:
+        Maximum number of cached partitioning plans.
+    """
+
+    backend: str = DEFAULT_ENGINE_BACKEND
+    max_parallelism: int | None = None
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {ENGINE_BACKENDS}, got {self.backend!r}"
+            )
+        if self.max_parallelism is not None and self.max_parallelism < 1:
+            raise ValueError("max_parallelism must be positive")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be at least 1")
+
+    @property
+    def is_simulated(self) -> bool:
+        """Return ``True`` when the legacy simulated path is selected."""
+        return self.backend == "simulated"
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ per worker.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +32,30 @@ from repro.geometry.band import BandCondition
 SIDE_S = "S"
 #: Identifier of the T relation side in routing calls.
 SIDE_T = "T"
+
+
+def _config_token(value, depth: int = 0):
+    """Reduce a configuration attribute to a stable hashable token.
+
+    Primitives pass through, (frozen) dataclasses contribute their repr, and
+    other objects are descended one level (covering e.g. a cost model whose
+    state is a coefficients dataclass) before falling back to the type name.
+    """
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_config_token(item, depth + 1) for item in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return repr(value)
+    if depth < 1:
+        try:
+            attrs = vars(value)
+        except TypeError:
+            return type(value).__name__
+        return (type(value).__name__,) + tuple(
+            (name, _config_token(item, depth + 1)) for name, item in sorted(attrs.items())
+        )
+    return type(value).__name__
 
 
 def validate_side(side: str) -> str:
@@ -192,6 +217,20 @@ class Partitioner(abc.ABC):
     def _rng(self, rng: np.random.Generator | None) -> np.random.Generator:
         """Return the generator to use (a fresh seeded one when none is given)."""
         return rng if rng is not None else np.random.default_rng(self.seed)
+
+    def plan_cache_key(self) -> tuple:
+        """Return a stable fingerprint of this partitioner's configuration.
+
+        Two partitioners with equal keys must produce the same partitioning
+        on the same inputs, so the plan cache can safely share plans between
+        them.  The fingerprint walks the instance attributes (seed, weights,
+        config dataclasses, cost-model coefficients, ...); objects it cannot
+        serialise contribute their type name, which errs towards sharing —
+        subclasses carrying richer unhashable state should override this.
+        """
+        return (type(self).__name__,) + tuple(
+            (name, _config_token(value)) for name, value in sorted(vars(self).items())
+        )
 
     @staticmethod
     def _validate_inputs(

@@ -14,6 +14,12 @@ simulator of the map -> shuffle -> reduce pipeline of Figure 5 that
 The per-worker accounting feeds both the success measures of the paper
 (`I`, `I_m`, `O_m`, max worker load, overheads vs. the lower bounds) and the
 running-time model used to report estimated join times.
+
+The reduce phase is pluggable: by default the local joins run sequentially
+in the driver (the historical simulated path), but the executor accepts an
+``engine`` choice that dispatches them to a real :mod:`repro.engine`
+backend (``serial``, ``threads`` or ``processes``) while producing the same
+:class:`~repro.distributed.stats.JobStats` accounting.
 """
 
 from repro.distributed.stats import JobStats, WorkerStats

@@ -45,6 +45,7 @@ class Worker:
         t_values: np.ndarray,
         condition: BandCondition,
         materialize: bool = False,
+        units: int = 1,
     ) -> int | np.ndarray:
         """Run the local band-join of one partition unit on this worker.
 
@@ -52,7 +53,9 @@ class Worker:
         and elapsed time are added to the worker's statistics; input counts
         are accounted separately by the executor (per Definition 1 a tuple
         shipped to a worker counts once, even when the worker processes it in
-        several of its partition units).
+        several of its partition units).  ``units`` is the number of
+        partition units batched into this call (the executor batches every
+        unit of a worker into one offset-shifted local join).
         """
         start = time.perf_counter()
         if materialize:
@@ -64,7 +67,7 @@ class Worker:
         elapsed = time.perf_counter() - start
 
         self.stats.output += produced
-        self.stats.units += 1
+        self.stats.units += units
         self.stats.local_seconds += elapsed
         return result
 

@@ -1,35 +1,52 @@
-"""End-to-end simulated execution of a distributed band-join.
+"""End-to-end execution of a distributed band-join.
 
 :class:`DistributedBandJoinExecutor` takes a concrete
 :class:`~repro.core.partitioner.JoinPartitioning` and executes the full
-map -> shuffle -> reduce pipeline of paper Figure 5 against a
-:class:`~repro.distributed.cluster.SimulatedCluster`:
+map -> shuffle -> reduce pipeline of paper Figure 5:
 
 1. **Map / partition** — every S- and T-tuple is routed to the partition
-   units that must receive it (calling the partitioning's ``route``).
+   units that must receive it (one vectorised batch-routing pass,
+   :mod:`repro.engine.routing`).
 2. **Shuffle** — the routed copies are grouped by unit and accounted per
    worker (:mod:`repro.distributed.shuffle`).
-3. **Reduce / local joins** — each unit's band-join is executed for real on
-   its owning worker; input, output and measured time accumulate in the
-   worker statistics.
+3. **Reduce / local joins** — each worker's units are executed for real.
+   With the default ``engine="simulated"`` they run sequentially in the
+   driver against a :class:`~repro.distributed.cluster.SimulatedCluster`
+   (bit-for-bit the historical behaviour); with ``engine="serial"``,
+   ``"threads"`` or ``"processes"`` the reduce phase is dispatched to a
+   real :mod:`repro.engine` backend and genuinely runs in parallel.
 4. **Verification** (optional) — the total output is compared against the
    single-machine join, and with ``verify="pairs"`` the result sets are
    compared pair by pair, which also proves that no output is produced twice.
+
+Either way the per-worker statistics land in the same
+:class:`~repro.distributed.stats.JobStats`, so every metric and report is
+engine-agnostic.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import LoadWeights
+from repro.config import EngineConfig, LoadWeights
 from repro.core.partitioner import JoinPartitioning
 from repro.cost.model import RunningTimeModel
 from repro.data.relation import Relation
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.shuffle import ShuffleStats, simulate_shuffle
 from repro.distributed.stats import JobStats
+from repro.engine.backends import SIMULATED, ExecutionBackend, get_backend
+from repro.engine.routing import (
+    WorkerTask,
+    build_worker_tasks,
+    dedup_workers,
+    gather_task_inputs,
+    route_side,
+    unit_offset_step,
+)
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
 from repro.local_join.base import LocalJoinAlgorithm, canonical_pair_order
@@ -38,7 +55,7 @@ from repro.local_join.index_nested_loop import IndexNestedLoopJoin
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one simulated distributed band-join execution."""
+    """Outcome of one distributed band-join execution."""
 
     partitioning: JoinPartitioning
     job: JobStats
@@ -48,6 +65,8 @@ class ExecutionResult:
     exact_output: int | None = None
     predicted_join_time: float | None = None
     pairs: np.ndarray | None = None
+    backend: str = SIMULATED
+    engine_seconds: float | None = None
 
     # ------------------------------------------------------------------ #
     # Paper-style measures
@@ -93,6 +112,8 @@ class ExecutionResult:
         info.update(
             {
                 "method": self.partitioning.method,
+                "backend": self.backend,
+                "engine_seconds": self.engine_seconds,
                 "optimization_seconds": self.optimization_seconds,
                 "predicted_join_time": self.predicted_join_time,
                 "exact_output": self.exact_output,
@@ -103,7 +124,7 @@ class ExecutionResult:
 
 
 class DistributedBandJoinExecutor:
-    """Simulates the distributed execution of a band-join under a given partitioning.
+    """Executes a band-join under a given partitioning.
 
     Parameters
     ----------
@@ -114,6 +135,12 @@ class DistributedBandJoinExecutor:
     cost_model:
         Optional running-time model; when given, the predicted join time of
         the executed partitioning is attached to the result.
+    engine:
+        Execution mode of the reduce phase: ``"simulated"`` (default, the
+        sequential in-driver path), a real backend name (``"serial"``,
+        ``"threads"``, ``"processes"``), an
+        :class:`~repro.engine.backends.ExecutionBackend` instance, or an
+        :class:`~repro.config.EngineConfig`.
     """
 
     def __init__(
@@ -121,10 +148,30 @@ class DistributedBandJoinExecutor:
         algorithm: LocalJoinAlgorithm | None = None,
         weights: LoadWeights | None = None,
         cost_model: RunningTimeModel | None = None,
+        engine: str | EngineConfig | ExecutionBackend | None = None,
     ) -> None:
         self.algorithm = algorithm if algorithm is not None else IndexNestedLoopJoin()
         self.weights = weights if weights is not None else LoadWeights()
         self.cost_model = cost_model
+        self._backend = self._resolve_engine(engine)
+
+    @staticmethod
+    def _resolve_engine(
+        engine: str | EngineConfig | ExecutionBackend | None,
+    ) -> ExecutionBackend | None:
+        """Return the engine backend, or ``None`` for the simulated path."""
+        if engine is None or engine == SIMULATED:
+            return None
+        if isinstance(engine, EngineConfig):
+            if engine.is_simulated:
+                return None
+            return get_backend(engine.backend, max_workers=engine.max_parallelism)
+        return get_backend(engine)
+
+    @property
+    def backend_name(self) -> str:
+        """Return the name of the active execution mode."""
+        return self._backend.name if self._backend is not None else SIMULATED
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -167,17 +214,14 @@ class DistributedBandJoinExecutor:
         s_matrix = s.join_matrix(attrs)
         t_matrix = t.join_matrix(attrs)
 
-        s_rows, s_units = partitioning.route(s_matrix, "S")
-        t_rows, t_units = partitioning.route(t_matrix, "T")
-        self._check_routing(s_rows, len(s), "S", partitioning)
-        self._check_routing(t_rows, len(t), "T", partitioning)
+        s_routed = route_side(partitioning, s_matrix, "S")
+        t_routed = route_side(partitioning, t_matrix, "T")
 
-        owners = partitioning.unit_workers()
         # Shuffle volume and per-worker input follow Definition 1: a tuple
         # shipped to a worker counts once per worker, even when the worker
         # holds it in several partition units.
-        s_dedup_workers = self._dedup_worker_copies(s_rows, owners[s_units], cluster.n_workers)
-        t_dedup_workers = self._dedup_worker_copies(t_rows, owners[t_units], cluster.n_workers)
+        s_dedup_workers = dedup_workers(partitioning, s_routed)
+        t_dedup_workers = dedup_workers(partitioning, t_routed)
         shuffle_s = simulate_shuffle(s_dedup_workers, len(s), cluster.n_workers, s.num_columns)
         shuffle_t = simulate_shuffle(t_dedup_workers, len(t), cluster.n_workers, t.num_columns)
         s_per_worker = np.bincount(s_dedup_workers, minlength=cluster.n_workers)
@@ -186,18 +230,18 @@ class DistributedBandJoinExecutor:
             worker.stats.input_s = int(s_per_worker[worker.worker_id])
             worker.stats.input_t = int(t_per_worker[worker.worker_id])
 
-        pairs = self._run_units(
-            cluster,
-            condition,
-            partitioning,
-            s_matrix,
-            t_matrix,
-            s_rows,
-            s_units,
-            t_rows,
-            t_units,
-            materialize,
-        )
+        offset_step = unit_offset_step(s_matrix, t_matrix, condition)
+        tasks = build_worker_tasks(partitioning, s_routed, t_routed, offset_step)
+
+        engine_seconds: float | None = None
+        if self._backend is None:
+            pairs = self._run_tasks_simulated(
+                cluster, condition, tasks, s_matrix, t_matrix, materialize
+            )
+        else:
+            pairs, engine_seconds = self._run_tasks_engine(
+                cluster, condition, tasks, s_matrix, t_matrix, materialize
+            )
 
         job = JobStats(
             workers=cluster.worker_stats(),
@@ -224,100 +268,42 @@ class DistributedBandJoinExecutor:
             exact_output=exact_output,
             predicted_join_time=predicted,
             pairs=pairs if materialize else None,
+            backend=self.backend_name,
+            engine_seconds=engine_seconds,
         )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _check_routing(
-        rows: np.ndarray, n_original: int, side: str, partitioning: JoinPartitioning
-    ) -> None:
-        """Every original tuple must reach at least one unit."""
-        if n_original == 0:
-            return
-        covered = np.zeros(n_original, dtype=bool)
-        covered[rows] = True
-        if not covered.all():
-            missing = int(np.count_nonzero(~covered))
-            raise ExecutionError(
-                f"{missing} {side}-tuples were not routed to any unit by "
-                f"{partitioning.method!r}"
-            )
-
-    @staticmethod
-    def _dedup_worker_copies(rows: np.ndarray, workers_per_copy: np.ndarray, n_workers: int) -> np.ndarray:
-        """Collapse (tuple, worker) copies so each tuple counts once per worker.
-
-        Returns the worker id of every retained copy (suitable for bincount).
-        """
-        if rows.size == 0:
-            return np.empty(0, dtype=np.int64)
-        combined = rows.astype(np.int64) * n_workers + workers_per_copy.astype(np.int64)
-        unique = np.unique(combined)
-        return (unique % n_workers).astype(np.int64)
-
-    @staticmethod
-    def _group_by_unit(rows: np.ndarray, units: np.ndarray, n_units: int):
-        """Group routed row indices by unit id; returns (sorted_rows, boundaries)."""
-        order = np.argsort(units, kind="stable")
-        sorted_units = units[order]
-        sorted_rows = rows[order]
-        boundaries = np.searchsorted(sorted_units, np.arange(n_units + 1))
-        return sorted_rows, boundaries
-
-    def _run_units(
+    def _run_tasks_simulated(
         self,
         cluster: SimulatedCluster,
         condition: BandCondition,
-        partitioning: JoinPartitioning,
+        tasks: list[WorkerTask],
         s_matrix: np.ndarray,
         t_matrix: np.ndarray,
-        s_rows: np.ndarray,
-        s_units: np.ndarray,
-        t_rows: np.ndarray,
-        t_units: np.ndarray,
         materialize: bool,
     ) -> np.ndarray | None:
-        """Execute every partition unit's local join on its owning worker.
+        """Run every worker's batched local join sequentially in the driver.
 
-        All units owned by one worker are executed in a single batched local
-        join: each unit's tuples are shifted by a per-unit offset in the first
-        join dimension that is larger than the data spread plus the band
-        width, so tuples from different units can never join while pairs
-        inside a unit are unaffected.  This is numerically equivalent to
-        running one local join per unit but avoids per-unit call overhead
-        (grid partitionings can produce hundreds of thousands of tiny units).
+        Each task's work is attributed to its owning simulated worker, so
+        the per-worker statistics are exactly what a parallel run would
+        produce even though the units execute one after another.
         """
-        n_units = partitioning.n_units
-        owners = partitioning.unit_workers()
-        s_sorted, s_bounds = self._group_by_unit(s_rows, s_units, n_units)
-        t_sorted, t_bounds = self._group_by_unit(t_rows, t_units, n_units)
-        offset_step = self._unit_offset_step(s_matrix, t_matrix, condition)
-
         all_pairs: list[np.ndarray] = []
-        for worker in cluster.workers:
-            unit_ids = np.nonzero(owners == worker.worker_id)[0]
-            if unit_ids.size == 0:
+        for task in tasks:
+            worker = cluster.workers[task.worker_id]
+            if task.s_rows.size == 0 or task.t_rows.size == 0:
+                worker.stats.units += task.n_units
                 continue
-            worker.stats.units += int(unit_ids.size)
-            worker_s_rows, s_offsets = self._gather_worker_side(
-                unit_ids, s_sorted, s_bounds, offset_step
+            worker_s, worker_t = gather_task_inputs(task, s_matrix, t_matrix)
+            result = worker.execute_unit(
+                worker_s, worker_t, condition, materialize=materialize, units=task.n_units
             )
-            worker_t_rows, t_offsets = self._gather_worker_side(
-                unit_ids, t_sorted, t_bounds, offset_step
-            )
-            if worker_s_rows.size == 0 or worker_t_rows.size == 0:
-                continue
-            worker_s = s_matrix[worker_s_rows].copy()
-            worker_t = t_matrix[worker_t_rows].copy()
-            worker_s[:, 0] += s_offsets
-            worker_t[:, 0] += t_offsets
-            result = worker.execute_unit(worker_s, worker_t, condition, materialize=materialize)
             if materialize and isinstance(result, np.ndarray) and result.size:
                 all_pairs.append(
                     np.column_stack(
-                        [worker_s_rows[result[:, 0]], worker_t_rows[result[:, 1]]]
+                        [task.s_rows[result[:, 0]], task.t_rows[result[:, 1]]]
                     )
                 )
         if not materialize:
@@ -326,39 +312,39 @@ class DistributedBandJoinExecutor:
             return np.empty((0, 2), dtype=np.int64)
         return np.concatenate(all_pairs)
 
-    @staticmethod
-    def _unit_offset_step(
-        s_matrix: np.ndarray, t_matrix: np.ndarray, condition: BandCondition
-    ) -> float:
-        """Return a per-unit shift of the first join dimension that no band can bridge."""
-        predicate = condition.predicates[0]
-        spreads = []
-        for matrix in (s_matrix, t_matrix):
-            if matrix.shape[0]:
-                spreads.append(float(matrix[:, 0].max() - matrix[:, 0].min()))
-        spread = max(spreads) if spreads else 1.0
-        return spread + predicate.eps_left + predicate.eps_right + 1.0
+    def _run_tasks_engine(
+        self,
+        cluster: SimulatedCluster,
+        condition: BandCondition,
+        tasks: list[WorkerTask],
+        s_matrix: np.ndarray,
+        t_matrix: np.ndarray,
+        materialize: bool,
+    ) -> tuple[np.ndarray | None, float]:
+        """Dispatch the worker tasks to the configured engine backend.
 
-    @staticmethod
-    def _gather_worker_side(
-        unit_ids: np.ndarray,
-        sorted_rows: np.ndarray,
-        bounds: np.ndarray,
-        offset_step: float,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Collect one relation side of a worker's units plus per-tuple unit offsets."""
-        lengths = bounds[unit_ids + 1] - bounds[unit_ids]
-        total = int(lengths.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0)
-        pieces = [
-            sorted_rows[bounds[unit] : bounds[unit + 1]]
-            for unit, length in zip(unit_ids, lengths)
-            if length
-        ]
-        rows = np.concatenate(pieces)
-        local_index = np.repeat(np.arange(unit_ids.size), lengths)
-        return rows, local_index.astype(float) * offset_step
+        The local join runs with the cluster's algorithm — the same one the
+        simulated path executes through its workers — so a caller-supplied
+        cluster with a custom algorithm behaves identically on every engine.
+        """
+        start = time.perf_counter()
+        outcomes = self._backend.run(
+            tasks, s_matrix, t_matrix, condition, cluster.algorithm, materialize
+        )
+        engine_seconds = time.perf_counter() - start
+        all_pairs: list[np.ndarray] = []
+        for outcome in outcomes:
+            stats = cluster.workers[outcome.worker_id].stats
+            stats.units += outcome.n_units
+            stats.output += outcome.output
+            stats.local_seconds += outcome.local_seconds
+            if materialize and outcome.pairs is not None and outcome.pairs.size:
+                all_pairs.append(outcome.pairs)
+        if not materialize:
+            return None, engine_seconds
+        if not all_pairs:
+            return np.empty((0, 2), dtype=np.int64), engine_seconds
+        return np.concatenate(all_pairs), engine_seconds
 
     def _verify(
         self,

@@ -1,0 +1,276 @@
+"""Pluggable execution backends for the parallel join engine.
+
+A backend takes the per-worker :class:`~repro.engine.routing.WorkerTask`
+batch of one join and executes every task's local band-join on real
+hardware:
+
+``serial``
+    Reference implementation — tasks run one after another in the driver
+    process.  Every other backend must produce exactly its pair set.
+``threads``
+    A ``ThreadPoolExecutor``.  The local join algorithms spend their time in
+    numpy kernels, which release the GIL, so worker tasks genuinely overlap
+    on multi-core machines without any data transfer at all.
+``processes``
+    A ``ProcessPoolExecutor`` fed through shared memory: the join matrices
+    and routed row indices are written to ``multiprocessing.shared_memory``
+    once per join (see :mod:`repro.engine.shared`), so a task crosses the
+    process boundary as a few integers instead of a pickled matrix.
+
+Backends are stateless; pools live only for the duration of one
+:meth:`ExecutionBackend.run` call.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.routing import WorkerTask, gather_task_inputs
+from repro.engine.shared import SharedStoreDescriptor, SharedTaskReader, SharedTaskStore
+from repro.exceptions import ExecutionError
+from repro.geometry.band import BandCondition
+from repro.local_join.base import LocalJoinAlgorithm
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one executed worker task.
+
+    ``pairs`` holds globally indexed ``(s_row, t_row)`` output pairs when the
+    join was materialised, ``None`` otherwise.  ``local_seconds`` times the
+    local join itself (gathering the task's input copies is excluded, so the
+    value is comparable to the simulated cluster's per-worker accounting).
+    """
+
+    worker_id: int
+    n_units: int
+    output: int
+    local_seconds: float
+    pairs: np.ndarray | None = None
+
+
+def execute_task(
+    task: WorkerTask,
+    s_matrix: np.ndarray,
+    t_matrix: np.ndarray,
+    condition: BandCondition,
+    algorithm: LocalJoinAlgorithm,
+    materialize: bool,
+) -> TaskOutcome:
+    """Run one worker task against the given join matrices."""
+    if task.s_rows.size == 0 or task.t_rows.size == 0:
+        return TaskOutcome(
+            worker_id=task.worker_id,
+            n_units=task.n_units,
+            output=0,
+            local_seconds=0.0,
+            pairs=np.empty((0, 2), dtype=np.int64) if materialize else None,
+        )
+    worker_s, worker_t = gather_task_inputs(task, s_matrix, t_matrix)
+    join_start = time.perf_counter()
+    if materialize:
+        local = algorithm.join(worker_s, worker_t, condition)
+        local_seconds = time.perf_counter() - join_start
+        if local.shape[0]:
+            pairs = np.column_stack(
+                [task.s_rows[local[:, 0]], task.t_rows[local[:, 1]]]
+            ).astype(np.int64)
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        output = int(local.shape[0])
+    else:
+        output = int(algorithm.count(worker_s, worker_t, condition))
+        local_seconds = time.perf_counter() - join_start
+        pairs = None
+    return TaskOutcome(
+        worker_id=task.worker_id,
+        n_units=task.n_units,
+        output=output,
+        local_seconds=local_seconds,
+        pairs=pairs,
+    )
+
+
+class ExecutionBackend(abc.ABC):
+    """Interface of an engine execution backend."""
+
+    #: Backend name used in configuration, reports and the CLI.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        tasks: list[WorkerTask],
+        s_matrix: np.ndarray,
+        t_matrix: np.ndarray,
+        condition: BandCondition,
+        algorithm: LocalJoinAlgorithm,
+        materialize: bool,
+    ) -> list[TaskOutcome]:
+        """Execute every task and return the outcomes in task order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _default_parallelism() -> int:
+    """Return the number of CPUs available to this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference backend: tasks run sequentially in the driver process."""
+
+    name = "serial"
+
+    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+        return [
+            execute_task(task, s_matrix, t_matrix, condition, algorithm, materialize)
+            for task in tasks
+        ]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Thread-pool backend exploiting numpy's GIL release.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the number of CPUs available to the process.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+        if not tasks:
+            return []
+        pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
+        if pool_size <= 1:
+            return SerialBackend().run(
+                tasks, s_matrix, t_matrix, condition, algorithm, materialize
+            )
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = [
+                pool.submit(
+                    execute_task, task, s_matrix, t_matrix, condition, algorithm, materialize
+                )
+                for task in tasks
+            ]
+            return [future.result() for future in futures]
+
+
+# Per-process state of the process-pool backend, populated by the pool
+# initializer; module-level so the worker function is picklable.
+_PROCESS_STATE: dict = {}
+
+
+def _process_initializer(
+    descriptor: SharedStoreDescriptor,
+    condition: BandCondition,
+    algorithm: LocalJoinAlgorithm,
+    materialize: bool,
+) -> None:
+    _PROCESS_STATE["reader"] = SharedTaskReader(descriptor)
+    _PROCESS_STATE["condition"] = condition
+    _PROCESS_STATE["algorithm"] = algorithm
+    _PROCESS_STATE["materialize"] = materialize
+
+
+def _process_run_task(index: int) -> TaskOutcome:
+    reader: SharedTaskReader = _PROCESS_STATE["reader"]
+    return execute_task(
+        reader.task(index),
+        reader.s_matrix,
+        reader.t_matrix,
+        _PROCESS_STATE["condition"],
+        _PROCESS_STATE["algorithm"],
+        _PROCESS_STATE["materialize"],
+    )
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Process-pool backend with shared-memory column transfer.
+
+    The join matrices and the routed row-index/offset arrays are placed into
+    shared memory once; each task is submitted as a single integer index.
+    Only the output (pair arrays or counts) crosses the process boundary by
+    pickling.
+
+    Unlike the threads backend, a pool of size 1 is *not* short-circuited to
+    the serial path: running off-process is this backend's semantic (a
+    1-thread pool is observationally identical to serial, a 1-process pool
+    is not), and silently un-processing it would misreport the backend's
+    true overhead in comparisons.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the number of CPUs available to the process.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+        if not tasks:
+            return []
+        pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
+        with SharedTaskStore(s_matrix, t_matrix, tasks) as store:
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_process_initializer,
+                initargs=(store.descriptor, condition, algorithm, materialize),
+            ) as pool:
+                return list(pool.map(_process_run_task, range(len(tasks))))
+
+
+#: Name of the legacy in-driver simulated path (not an engine backend; the
+#: executor keeps it as its default-compatible execution mode).
+SIMULATED = "simulated"
+
+_BACKEND_FACTORIES = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Return the names of the registered engine backends."""
+    return tuple(_BACKEND_FACTORIES)
+
+
+def get_backend(
+    backend: "str | ExecutionBackend", max_workers: int | None = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        factory = _BACKEND_FACTORIES[backend]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown engine backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    if factory is SerialBackend:
+        return factory()
+    return factory(max_workers=max_workers)

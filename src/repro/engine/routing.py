@@ -1,0 +1,228 @@
+"""Vectorised batch routing and per-worker task construction.
+
+The map phase of the engine: all tuples of a relation side are routed in a
+single vectorised :meth:`~repro.core.partitioner.JoinPartitioning.route`
+call, grouped per partition unit with one ``argsort`` + ``searchsorted``
+pass (numpy masks, no per-tuple Python work), and gathered into one
+:class:`WorkerTask` per worker.
+
+A worker task batches every unit the worker owns into a single local join:
+each unit's tuples are shifted by a per-unit offset in the first join
+dimension that is larger than the data spread plus the band width, so tuples
+from different units can never join while pairs inside a unit are
+unaffected.  This is numerically equivalent to running one local join per
+unit but avoids per-unit call overhead (grid partitionings can produce
+hundreds of thousands of tiny units), and it gives every execution backend
+the same coarse-grained, embarrassingly parallel work items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partitioner import JoinPartitioning
+from repro.exceptions import ExecutionError
+from repro.geometry.band import BandCondition
+
+
+@dataclass(frozen=True)
+class RoutedSide:
+    """One relation side after routing, grouped by partition unit.
+
+    Attributes
+    ----------
+    rows:
+        Original row indices of every routed tuple copy, sorted by the unit
+        that receives the copy (a row index appears once per receiving unit).
+    units:
+        Receiving unit id of every copy, parallel to ``rows`` (ascending).
+    bounds:
+        ``(n_units + 1,)`` prefix boundaries: unit ``u`` owns the slice
+        ``rows[bounds[u]:bounds[u + 1]]``.
+    """
+
+    rows: np.ndarray
+    units: np.ndarray
+    bounds: np.ndarray
+
+    @property
+    def n_copies(self) -> int:
+        """Return the total number of routed tuple copies (with duplicates)."""
+        return int(self.rows.size)
+
+    def unit_rows(self, unit: int) -> np.ndarray:
+        """Return the original row indices routed to one unit."""
+        return self.rows[self.bounds[unit] : self.bounds[unit + 1]]
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """The batched local join of every unit owned by one worker.
+
+    ``s_rows`` / ``t_rows`` are original row indices into the relation's
+    join matrix; ``s_offsets`` / ``t_offsets`` are the per-tuple unit-
+    separation shifts applied to the first join dimension before joining.
+    """
+
+    worker_id: int
+    n_units: int
+    s_rows: np.ndarray
+    s_offsets: np.ndarray
+    t_rows: np.ndarray
+    t_offsets: np.ndarray
+
+    @property
+    def n_input(self) -> int:
+        """Return the number of input tuple copies processed by the task."""
+        return int(self.s_rows.size + self.t_rows.size)
+
+
+def check_coverage(rows: np.ndarray, n_original: int, side: str, method: str) -> None:
+    """Raise :class:`ExecutionError` unless every original tuple reached a unit."""
+    if n_original == 0:
+        return
+    covered = np.zeros(n_original, dtype=bool)
+    covered[rows] = True
+    if not covered.all():
+        missing = int(np.count_nonzero(~covered))
+        raise ExecutionError(
+            f"{missing} {side}-tuples were not routed to any unit by {method!r}"
+        )
+
+
+def route_side(
+    partitioning: JoinPartitioning,
+    matrix: np.ndarray,
+    side: str,
+    validate: bool = True,
+) -> RoutedSide:
+    """Route one relation side and group the copies by unit in one pass."""
+    rows, units = partitioning.route(matrix, side)
+    if validate:
+        check_coverage(rows, matrix.shape[0], side, partitioning.method)
+    order = np.argsort(units, kind="stable")
+    sorted_rows = rows[order].astype(np.int64, copy=False)
+    sorted_units = units[order].astype(np.int64, copy=False)
+    bounds = np.searchsorted(sorted_units, np.arange(partitioning.n_units + 1))
+    return RoutedSide(rows=sorted_rows, units=sorted_units, bounds=bounds)
+
+
+def unit_offset_step(
+    s_matrix: np.ndarray, t_matrix: np.ndarray, condition: BandCondition
+) -> float:
+    """Return a per-unit shift of the first join dimension that no band can bridge.
+
+    The step must exceed the spread of the *combined* S and T value range:
+    tuples of units shifted by k and j steps end up ``(k - j) * step`` apart
+    plus their original difference, and that original difference can be as
+    large as the gap between the two relations' ranges (e.g. S in [0, 1]
+    joined against T in [10, 11]).  Using each relation's own spread — as an
+    earlier revision did — lets distant unit pairs alias back into the band
+    and produce phantom output.
+    """
+    predicate = condition.predicates[0]
+    lows = []
+    highs = []
+    for matrix in (s_matrix, t_matrix):
+        if matrix.shape[0]:
+            lows.append(float(matrix[:, 0].min()))
+            highs.append(float(matrix[:, 0].max()))
+    spread = (max(highs) - min(lows)) if lows else 1.0
+    return spread + predicate.eps_left + predicate.eps_right + 1.0
+
+
+def gather_side(
+    unit_ids: np.ndarray, routed: RoutedSide, offset_step: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collect one relation side of a worker's units plus per-tuple unit offsets.
+
+    The offset of a tuple is ``position of its unit within unit_ids *
+    offset_step``; S and T use the same ``unit_ids`` order, so tuples of the
+    same unit land in the same shifted band on both sides.
+    """
+    bounds = routed.bounds
+    lengths = bounds[unit_ids + 1] - bounds[unit_ids]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    pieces = [
+        routed.rows[bounds[unit] : bounds[unit + 1]]
+        for unit, length in zip(unit_ids, lengths)
+        if length
+    ]
+    rows = np.concatenate(pieces)
+    local_index = np.repeat(np.arange(unit_ids.size), lengths)
+    return rows, local_index.astype(float) * offset_step
+
+
+def build_worker_tasks(
+    partitioning: JoinPartitioning,
+    s_routed: RoutedSide,
+    t_routed: RoutedSide,
+    offset_step: float,
+) -> list[WorkerTask]:
+    """Build one batched task per worker that owns at least one unit."""
+    owners = partitioning.unit_workers()
+    tasks: list[WorkerTask] = []
+    for worker_id in range(partitioning.workers):
+        unit_ids = np.nonzero(owners == worker_id)[0]
+        if unit_ids.size == 0:
+            continue
+        s_rows, s_offsets = gather_side(unit_ids, s_routed, offset_step)
+        t_rows, t_offsets = gather_side(unit_ids, t_routed, offset_step)
+        tasks.append(
+            WorkerTask(
+                worker_id=worker_id,
+                n_units=int(unit_ids.size),
+                s_rows=s_rows,
+                s_offsets=s_offsets,
+                t_rows=t_rows,
+                t_offsets=t_offsets,
+            )
+        )
+    return tasks
+
+
+def gather_task_inputs(
+    task: WorkerTask, s_matrix: np.ndarray, t_matrix: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise a task's shifted S/T join matrices (fresh copies)."""
+    worker_s = s_matrix[task.s_rows]
+    worker_t = t_matrix[task.t_rows]
+    if worker_s.shape[0]:
+        worker_s[:, 0] += task.s_offsets
+    if worker_t.shape[0]:
+        worker_t[:, 0] += task.t_offsets
+    return worker_s, worker_t
+
+
+def dedup_worker_copies(
+    rows: np.ndarray, workers_per_copy: np.ndarray, n_workers: int
+) -> np.ndarray:
+    """Collapse (tuple, worker) copies so each tuple counts once per worker.
+
+    Returns the worker id of every retained copy (suitable for ``bincount``);
+    this is the per-worker input accounting of paper Definition 1.
+    """
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    combined = rows.astype(np.int64) * n_workers + workers_per_copy.astype(np.int64)
+    unique = np.unique(combined)
+    return (unique % n_workers).astype(np.int64)
+
+
+def dedup_workers(partitioning: JoinPartitioning, routed: RoutedSide) -> np.ndarray:
+    """Return the worker id of every deduplicated tuple copy of one side."""
+    owners = partitioning.unit_workers()
+    return dedup_worker_copies(routed.rows, owners[routed.units], partitioning.workers)
+
+
+def worker_input_counts(
+    partitioning: JoinPartitioning, routed: RoutedSide
+) -> np.ndarray:
+    """Return per-worker deduplicated input counts for one routed side."""
+    return np.bincount(
+        dedup_workers(partitioning, routed), minlength=partitioning.workers
+    )

@@ -1,0 +1,197 @@
+"""Shared-memory column transfer for the process-pool backend.
+
+Pickling the join matrices into every worker process would copy the data
+once per task and dominate the runtime of the reduce phase.  Instead the
+:class:`SharedTaskStore` places the S/T join matrices and the concatenated
+per-task row-index/offset arrays into ``multiprocessing.shared_memory``
+segments exactly once; a task then travels to its worker process as a
+handful of integers (slice bounds into the shared arrays), and the worker
+gathers its shifted matrices from the shared segments locally.
+
+The store is a context manager: segments are unlinked when the owning
+process leaves the ``with`` block, so no shared memory outlives a join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.engine.routing import WorkerTask
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Name, shape and dtype needed to re-open one shared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedTaskSlice:
+    """A worker task reduced to slice bounds into the shared arrays."""
+
+    worker_id: int
+    n_units: int
+    s_start: int
+    s_stop: int
+    t_start: int
+    t_stop: int
+
+
+@dataclass(frozen=True)
+class SharedStoreDescriptor:
+    """Everything a worker process needs to rebuild the task inputs."""
+
+    s_matrix: SharedArraySpec
+    t_matrix: SharedArraySpec
+    s_rows: SharedArraySpec
+    s_offsets: SharedArraySpec
+    t_rows: SharedArraySpec
+    t_offsets: SharedArraySpec
+    tasks: tuple[SharedTaskSlice, ...]
+
+
+def _copy_into_shared(array: np.ndarray) -> tuple[shared_memory.SharedMemory, SharedArraySpec]:
+    """Copy one array into a fresh shared-memory segment."""
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    return segment, SharedArraySpec(segment.name, tuple(array.shape), array.dtype.str)
+
+
+def _open_shared(spec: SharedArraySpec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a shared segment and view it as a numpy array.
+
+    Worker processes inherit the creator's resource-tracker process, so the
+    attach-time re-registration is a harmless set-add there and cleanup
+    stays with the creator's ``unlink``; explicitly unregistering here would
+    remove the creator's registration and make that unlink double-free.
+    """
+    segment = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+    return segment, view
+
+
+class SharedTaskStore:
+    """Owns the shared-memory segments of one engine run."""
+
+    def __init__(
+        self,
+        s_matrix: np.ndarray,
+        t_matrix: np.ndarray,
+        tasks: list[WorkerTask],
+    ) -> None:
+        slices: list[SharedTaskSlice] = []
+        s_parts: list[np.ndarray] = []
+        t_parts: list[np.ndarray] = []
+        s_offset_parts: list[np.ndarray] = []
+        t_offset_parts: list[np.ndarray] = []
+        s_cursor = t_cursor = 0
+        for task in tasks:
+            slices.append(
+                SharedTaskSlice(
+                    worker_id=task.worker_id,
+                    n_units=task.n_units,
+                    s_start=s_cursor,
+                    s_stop=s_cursor + task.s_rows.size,
+                    t_start=t_cursor,
+                    t_stop=t_cursor + task.t_rows.size,
+                )
+            )
+            s_parts.append(task.s_rows)
+            s_offset_parts.append(task.s_offsets)
+            t_parts.append(task.t_rows)
+            t_offset_parts.append(task.t_offsets)
+            s_cursor += task.s_rows.size
+            t_cursor += task.t_rows.size
+
+        def concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        self._segments: list[shared_memory.SharedMemory] = []
+        specs = {}
+        for field, array in (
+            ("s_matrix", s_matrix),
+            ("t_matrix", t_matrix),
+            ("s_rows", concat(s_parts, np.int64)),
+            ("s_offsets", concat(s_offset_parts, float)),
+            ("t_rows", concat(t_parts, np.int64)),
+            ("t_offsets", concat(t_offset_parts, float)),
+        ):
+            segment, spec = _copy_into_shared(array)
+            self._segments.append(segment)
+            specs[field] = spec
+        self.descriptor = SharedStoreDescriptor(tasks=tuple(slices), **specs)
+
+    def close(self) -> None:
+        """Release and unlink every shared segment."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedTaskStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SharedTaskReader:
+    """Worker-process view of a :class:`SharedTaskStore`.
+
+    Opened once per worker process (pool initializer); every task then only
+    needs its :class:`SharedTaskSlice` to gather the shifted matrices.
+    """
+
+    def __init__(self, descriptor: SharedStoreDescriptor) -> None:
+        self.descriptor = descriptor
+        self._segments = []
+        self._arrays = {}
+        for field in ("s_matrix", "t_matrix", "s_rows", "s_offsets", "t_rows", "t_offsets"):
+            segment, view = _open_shared(getattr(descriptor, field))
+            self._segments.append(segment)
+            self._arrays[field] = view
+
+    def task(self, index: int) -> WorkerTask:
+        """Rebuild one worker task from the shared arrays."""
+        piece = self.descriptor.tasks[index]
+        return WorkerTask(
+            worker_id=piece.worker_id,
+            n_units=piece.n_units,
+            s_rows=self._arrays["s_rows"][piece.s_start : piece.s_stop],
+            s_offsets=self._arrays["s_offsets"][piece.s_start : piece.s_stop],
+            t_rows=self._arrays["t_rows"][piece.t_start : piece.t_stop],
+            t_offsets=self._arrays["t_offsets"][piece.t_start : piece.t_stop],
+        )
+
+    @property
+    def s_matrix(self) -> np.ndarray:
+        """Return the shared S join matrix (zero-copy view)."""
+        return self._arrays["s_matrix"]
+
+    @property
+    def t_matrix(self) -> np.ndarray:
+        """Return the shared T join matrix (zero-copy view)."""
+        return self._arrays["t_matrix"]
+
+    def close(self) -> None:
+        """Detach from the shared segments (without unlinking them)."""
+        self._arrays = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._segments = []

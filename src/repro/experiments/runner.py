@@ -248,15 +248,24 @@ def run_workload(
     cost_model: RunningTimeModel | None = None,
     verify: str = "none",
     seed: int = 0,
+    engine: str | None = None,
 ) -> ExperimentResult:
-    """Run every partitioner on one workload and collect the paper-style measures."""
+    """Run every partitioner on one workload and collect the paper-style measures.
+
+    ``engine`` selects the execution mode of the reduce phase:
+    ``None``/``"simulated"`` keeps the sequential in-driver path, while
+    ``"serial"``, ``"threads"`` or ``"processes"`` dispatch the local joins
+    to the corresponding :mod:`repro.engine` backend.
+    """
     weights = weights if weights is not None else LoadWeights()
     cost_model = cost_model if cost_model is not None else default_running_time_model()
     if partitioners is None:
         partitioners = default_partitioners(weights=weights, cost_model=cost_model, seed=seed)
 
     s, t, condition = workload.build()
-    executor = DistributedBandJoinExecutor(weights=weights, cost_model=cost_model)
+    executor = DistributedBandJoinExecutor(
+        weights=weights, cost_model=cost_model, engine=engine
+    )
 
     results = []
     for partitioner in partitioners:

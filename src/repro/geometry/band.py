@@ -59,9 +59,19 @@ class BandPredicate:
         return self.eps_left + self.eps_right
 
     def matches(self, s_values: np.ndarray, t_values: np.ndarray) -> np.ndarray:
-        """Vectorised predicate test: element-wise ``-eps_left <= t - s <= eps_right``."""
-        diff = np.asarray(t_values, dtype=float) - np.asarray(s_values, dtype=float)
-        return (diff >= -self.eps_left) & (diff <= self.eps_right)
+        """Vectorised predicate test: element-wise ``-eps_left <= t - s <= eps_right``.
+
+        Evaluated in the paper's inclusive interval form
+        ``s in [t - eps_right, t + eps_left]`` so that membership agrees
+        bit-for-bit with the hyper-rectangles of
+        :meth:`BandCondition.epsilon_range` (the algebraically equivalent
+        ``t - s`` formulation rounds differently for values of very
+        different magnitude, letting the two checks disagree on pairs that
+        lie exactly on a band boundary).
+        """
+        s_arr = np.asarray(s_values, dtype=float)
+        t_arr = np.asarray(t_values, dtype=float)
+        return (s_arr >= t_arr - self.eps_right) & (s_arr <= t_arr + self.eps_left)
 
 
 class BandCondition:

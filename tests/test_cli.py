@@ -33,6 +33,49 @@ class TestCLI:
         assert "RecPart" in output
         assert "fastest method" in output
 
+    def test_demo_command_with_engine_backend(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--rows",
+                "900",
+                "--workers",
+                "3",
+                "--dimensions",
+                "2",
+                "--band-width",
+                "0.1",
+                "--engine",
+                "threads",
+            ]
+        )
+        assert code == 0
+        assert "fastest method" in capsys.readouterr().out
+
+    def test_engine_command_compares_backends(self, capsys):
+        code = main(
+            [
+                "engine",
+                "--rows",
+                "4000",
+                "--workers",
+                "4",
+                "--band-width",
+                "0.05",
+                "--backends",
+                "serial,threads",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "engine backend comparison" in output
+        assert "serial" in output and "threads" in output
+        assert "identical output counts" in output
+
+    def test_engine_command_rejects_unknown_backend(self, capsys):
+        assert main(["engine", "--rows", "500", "--backends", "gpu"]) == 2
+        assert "unknown backends" in capsys.readouterr().out
+
     def test_table_command(self, capsys):
         assert main(["table", "2b", "--scale", "0.03"]) == 0
         output = capsys.readouterr().out

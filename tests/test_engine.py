@@ -1,0 +1,356 @@
+"""Tests for the parallel execution engine (repro.engine).
+
+The central property is backend equivalence: whatever backend executes the
+reduce phase, the produced pair set must be exactly the serial reference's
+(and therefore exactly the single-machine join, which the integration tests
+pin down).  The plan cache must hit on byte-identical queries and miss as
+soon as data, condition, budget or method change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.grid import GridEpsilonPartitioner
+from repro.baselines.one_bucket import OneBucketPartitioner
+from repro.config import EngineConfig
+from repro.core.recpart import RecPartPartitioner
+from repro.data.generators import correlated_pair, uniform_relation
+from repro.data.relation import Relation
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.executor import DistributedBandJoinExecutor
+from repro.engine import (
+    ParallelJoinEngine,
+    PlanCache,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    build_worker_tasks,
+    condition_key,
+    gather_task_inputs,
+    get_backend,
+    plan_key,
+    relation_fingerprint,
+    route_side,
+    unit_offset_step,
+    worker_input_counts,
+)
+from repro.exceptions import ExecutionError
+from repro.geometry.band import BandCondition
+from repro.local_join.base import canonical_pair_order
+from repro.local_join.index_nested_loop import IndexNestedLoopJoin
+
+REAL_BACKENDS = ("serial", "threads", "processes")
+
+
+def _small_problem(seed: int = 5, n: int = 1200, dims: int = 2):
+    s, t = correlated_pair(n, n + 150, dimensions=dims, z=1.5, seed=seed)
+    condition = BandCondition.symmetric([f"A{i + 1}" for i in range(dims)], 0.08)
+    return s, t, condition
+
+
+def _reference_pairs(s, t, condition) -> np.ndarray:
+    algorithm = IndexNestedLoopJoin()
+    return canonical_pair_order(
+        algorithm.join(
+            s.join_matrix(condition.attributes), t.join_matrix(condition.attributes), condition
+        )
+    )
+
+
+class TestRouting:
+    def test_route_side_groups_every_copy(self):
+        s, t, condition = _small_problem()
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=4)
+        matrix = s.join_matrix(condition.attributes)
+        routed = route_side(partitioning, matrix, "S")
+        rows, units = partitioning.route(matrix, "S")
+        assert routed.n_copies == rows.size
+        assert routed.bounds[0] == 0 and routed.bounds[-1] == rows.size
+        for unit in range(partitioning.n_units):
+            expected = np.sort(rows[units == unit])
+            np.testing.assert_array_equal(np.sort(routed.unit_rows(unit)), expected)
+
+    def test_worker_tasks_cover_every_unit_once(self):
+        s, t, condition = _small_problem()
+        partitioning = OneBucketPartitioner().partition(s, t, condition, workers=5)
+        s_matrix = s.join_matrix(condition.attributes)
+        t_matrix = t.join_matrix(condition.attributes)
+        s_routed = route_side(partitioning, s_matrix, "S")
+        t_routed = route_side(partitioning, t_matrix, "T")
+        step = unit_offset_step(s_matrix, t_matrix, condition)
+        tasks = build_worker_tasks(partitioning, s_routed, t_routed, step)
+        assert sum(task.n_units for task in tasks) == partitioning.n_units
+        assert len({task.worker_id for task in tasks}) == len(tasks)
+        assert sum(task.s_rows.size for task in tasks) == s_routed.n_copies
+        assert sum(task.t_rows.size for task in tasks) == t_routed.n_copies
+
+    def test_gather_applies_unit_offsets(self):
+        s, t, condition = _small_problem(n=400)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=3)
+        s_matrix = s.join_matrix(condition.attributes)
+        t_matrix = t.join_matrix(condition.attributes)
+        s_routed = route_side(partitioning, s_matrix, "S")
+        t_routed = route_side(partitioning, t_matrix, "T")
+        step = unit_offset_step(s_matrix, t_matrix, condition)
+        tasks = build_worker_tasks(partitioning, s_routed, t_routed, step)
+        task = max(tasks, key=lambda x: x.n_units)
+        worker_s, _ = gather_task_inputs(task, s_matrix, t_matrix)
+        np.testing.assert_allclose(
+            worker_s[:, 0], s_matrix[task.s_rows, 0] + task.s_offsets
+        )
+        # Gathering must not mutate the shared join matrix.
+        np.testing.assert_array_equal(s_matrix, s.join_matrix(condition.attributes))
+
+    def test_worker_input_counts_match_executor_accounting(self):
+        s, t, condition = _small_problem()
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=4)
+        result = DistributedBandJoinExecutor().execute(s, t, condition, partitioning)
+        s_routed = route_side(partitioning, s.join_matrix(condition.attributes), "S")
+        counts = worker_input_counts(partitioning, s_routed)
+        for stats in result.job.workers:
+            assert stats.input_s == counts[stats.worker_id]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_exact_pair_set_on_random_workloads(self, backend, seed):
+        """Every backend produces the exact pair set of the single-machine join."""
+        s, t, condition = _small_problem(seed=seed)
+        partitioning = RecPartPartitioner(seed=seed).partition(s, t, condition, workers=5)
+        engine = ParallelJoinEngine(backend=backend)
+        result = engine.execute(s, t, condition, partitioning, materialize=True)
+        np.testing.assert_array_equal(
+            canonical_pair_order(result.pairs), _reference_pairs(s, t, condition)
+        )
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_exact_pair_set_under_grid_partitioning(self, backend):
+        s, t, condition = _small_problem(seed=9)
+        partitioning = GridEpsilonPartitioner().partition(s, t, condition, workers=4)
+        engine = ParallelJoinEngine(backend=backend)
+        result = engine.execute(s, t, condition, partitioning, materialize=True)
+        np.testing.assert_array_equal(
+            canonical_pair_order(result.pairs), _reference_pairs(s, t, condition)
+        )
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_counts_match_without_materialisation(self, backend):
+        s, t, condition = _small_problem(seed=13)
+        partitioning = OneBucketPartitioner().partition(s, t, condition, workers=6)
+        engine = ParallelJoinEngine(backend=backend)
+        result = engine.execute(s, t, condition, partitioning)
+        assert result.pairs is None
+        assert result.total_output == _reference_pairs(s, t, condition).shape[0]
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_empty_output(self, backend):
+        s = uniform_relation("S", 300, dimensions=1, low=0.0, high=1.0, seed=0)
+        t = uniform_relation("T", 300, dimensions=1, low=10.0, high=11.0, seed=1)
+        condition = BandCondition.symmetric(["A1"], 0.05)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=3)
+        result = ParallelJoinEngine(backend=backend).execute(
+            s, t, condition, partitioning, materialize=True
+        )
+        assert result.total_output == 0
+        assert result.pairs.shape == (0, 2)
+
+    def test_engine_job_stats_match_simulated_executor(self):
+        """EngineResult plugs into the same JobStats accounting as the simulator."""
+        s, t, condition = _small_problem(seed=3)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=4)
+        simulated = DistributedBandJoinExecutor().execute(s, t, condition, partitioning)
+        engine = ParallelJoinEngine(backend="serial").execute(s, t, condition, partitioning)
+        assert engine.total_input == simulated.total_input
+        assert engine.total_output == simulated.total_output
+        assert engine.max_worker_input == simulated.max_worker_input
+        assert engine.duplication_ratio == pytest.approx(simulated.duplication_ratio)
+        summary = engine.summary()
+        assert summary["backend"] == "serial"
+        assert summary["total_output"] == simulated.total_output
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_cache(self):
+        s, t, condition = _small_problem(seed=17, n=800)
+        engine = ParallelJoinEngine(backend="serial")
+        first = engine.join(s, t, condition, workers=4)
+        second = engine.join(s, t, condition, workers=4)
+        assert not first.plan_from_cache
+        assert second.plan_from_cache
+        assert second.partitioning is first.partitioning
+        assert second.total_output == first.total_output
+        assert engine.plan_cache.stats.hits == 1
+        assert engine.plan_cache.stats.misses == 1
+
+    def test_data_change_invalidates(self):
+        s, t, condition = _small_problem(seed=17, n=800)
+        engine = ParallelJoinEngine(backend="serial")
+        engine.join(s, t, condition, workers=4)
+        columns = s.to_dict()
+        columns["A1"] = columns["A1"].copy()
+        columns["A1"][0] += 1e-9
+        s_changed = Relation("S", columns)
+        changed = engine.join(s_changed, t, condition, workers=4)
+        assert not changed.plan_from_cache
+        assert engine.plan_cache.stats.misses == 2
+
+    def test_condition_and_budget_changes_invalidate(self):
+        s, t, condition = _small_problem(seed=17, n=800)
+        engine = ParallelJoinEngine(backend="serial")
+        engine.join(s, t, condition, workers=4)
+        wider = BandCondition.symmetric(condition.attributes, 0.09)
+        assert not engine.join(s, t, wider, workers=4).plan_from_cache
+        assert not engine.join(s, t, condition, workers=5).plan_from_cache
+        # The original query is still cached.
+        assert engine.join(s, t, condition, workers=4).plan_from_cache
+
+    def test_partitioner_configuration_is_part_of_the_key(self):
+        """Differently configured partitioners of the same class never share plans."""
+        s, t, condition = _small_problem(seed=17, n=800)
+        engine = ParallelJoinEngine(backend="serial")
+        first = engine.join(s, t, condition, workers=4, partitioner=RecPartPartitioner(seed=1))
+        other_seed = engine.join(
+            s, t, condition, workers=4, partitioner=RecPartPartitioner(seed=2)
+        )
+        assert not other_seed.plan_from_cache
+        # An identically configured fresh instance does share the plan.
+        same = engine.join(s, t, condition, workers=4, partitioner=RecPartPartitioner(seed=1))
+        assert same.plan_from_cache
+        assert same.partitioning is first.partitioning
+
+    def test_method_is_part_of_the_key(self):
+        s, t, condition = _small_problem(seed=17, n=800)
+        engine = ParallelJoinEngine(backend="serial")
+        engine.join(s, t, condition, workers=4, partitioner=RecPartPartitioner())
+        other = engine.join(s, t, condition, workers=4, partitioner=OneBucketPartitioner())
+        assert not other.plan_from_cache
+
+    def test_lru_eviction(self):
+        s, t, condition = _small_problem(seed=17, n=500)
+        cache = PlanCache(max_entries=2)
+        engine = ParallelJoinEngine(backend="serial", plan_cache=cache)
+        engine.join(s, t, condition, workers=2)
+        engine.join(s, t, condition, workers=3)
+        engine.join(s, t, condition, workers=4)  # evicts the workers=2 plan
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert not engine.join(s, t, condition, workers=2).plan_from_cache
+
+    def test_fingerprint_and_keys_are_stable(self):
+        s, t, condition = _small_problem(seed=17, n=300)
+        attrs = condition.attributes
+        assert relation_fingerprint(s, attrs) == relation_fingerprint(s, attrs)
+        assert relation_fingerprint(s, attrs) != relation_fingerprint(t, attrs)
+        assert condition_key(condition) == condition_key(
+            BandCondition.symmetric(attrs, 0.08)
+        )
+        key = plan_key(s, t, condition, 4, "RecPart")
+        assert key == plan_key(s, t, condition, 4, "RecPart")
+        assert key != plan_key(s, t, condition, 4, "1-Bucket")
+
+    def test_cache_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestExecutorEngineIntegration:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_executor_verifies_pairs_on_engine_backend(self, backend):
+        s, t, condition = _small_problem(seed=29)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=4)
+        executor = DistributedBandJoinExecutor(engine=backend)
+        result = executor.execute(s, t, condition, partitioning, verify="pairs")
+        assert result.backend == backend
+        assert result.engine_seconds is not None and result.engine_seconds >= 0
+        assert result.exact_output == result.total_output
+
+    def test_executor_engine_accounting_matches_simulated(self):
+        s, t, condition = _small_problem(seed=31)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=4)
+        simulated = DistributedBandJoinExecutor().execute(s, t, condition, partitioning)
+        threaded = DistributedBandJoinExecutor(engine="threads").execute(
+            s, t, condition, partitioning
+        )
+        assert simulated.backend == "simulated"
+        assert simulated.engine_seconds is None
+        assert threaded.total_input == simulated.total_input
+        assert threaded.total_output == simulated.total_output
+        per_worker_sim = sorted(
+            (w.worker_id, w.output, w.units) for w in simulated.job.workers
+        )
+        per_worker_eng = sorted(
+            (w.worker_id, w.output, w.units) for w in threaded.job.workers
+        )
+        assert per_worker_sim == per_worker_eng
+        assert sum(w.units for w in simulated.job.workers) == partitioning.n_units
+
+    def test_engine_path_runs_the_cluster_algorithm(self):
+        """A caller-supplied cluster's algorithm is honoured on real backends too."""
+
+        class CountingJoin(IndexNestedLoopJoin):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def count(self, *args, **kwargs):
+                self.calls += 1
+                return super().count(*args, **kwargs)
+
+        s, t, condition = _small_problem(seed=37, n=400)
+        partitioning = RecPartPartitioner().partition(s, t, condition, workers=3)
+        algorithm = CountingJoin()
+        cluster = SimulatedCluster(3, algorithm=algorithm)
+        DistributedBandJoinExecutor(engine="threads").execute(
+            s, t, condition, partitioning, cluster=cluster
+        )
+        assert algorithm.calls > 0
+
+    def test_executor_accepts_engine_config(self):
+        executor = DistributedBandJoinExecutor(
+            engine=EngineConfig(backend="threads", max_parallelism=2)
+        )
+        assert executor.backend_name == "threads"
+        simulated = DistributedBandJoinExecutor(engine=EngineConfig())
+        assert simulated.backend_name == "simulated"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError):
+            DistributedBandJoinExecutor(engine="gpu")
+        with pytest.raises(ExecutionError):
+            get_backend("gpu")
+
+    def test_backend_registry(self):
+        assert set(REAL_BACKENDS) == set(available_backends())
+        assert isinstance(get_backend("serial"), SerialBackend)
+        backend = ThreadPoolBackend(max_workers=3)
+        assert get_backend(backend) is backend
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.is_simulated
+        assert config.plan_cache_size >= 1
+
+    def test_engine_from_config(self):
+        config = EngineConfig(backend="threads", max_parallelism=2, plan_cache_size=7)
+        engine = ParallelJoinEngine.from_config(config)
+        assert engine.backend.name == "threads"
+        assert engine.plan_cache.max_entries == 7
+        # The engine always executes for real: "simulated" maps to serial.
+        assert ParallelJoinEngine.from_config(EngineConfig()).backend.name == "serial"
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="gpu")
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="threads", max_parallelism=0)
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(plan_cache_size=0)
