@@ -1,0 +1,262 @@
+"""Benchmark of the band-join serving layer.
+
+Measures the four execution paths of :class:`repro.service.BandJoinService`
+on the standard Table-2-style Pareto workload:
+
+``cold``
+    First query for an epsilon: RecPart optimization plus a full join.
+``plan_cache``
+    Result caches dropped, plans kept: full join under a cached plan.
+``result_cache``
+    Repeat query: answered from the materialized-result cache.
+``delta``
+    Query after appending a 1% delta: cached base result plus delta joins
+    of only the appended rows through the existing partitioning.
+
+Each path is sampled across several epsilon parameters of one prepared
+query (and several repeats for the sub-millisecond paths), then a
+concurrent section pushes a mixed epsilon workload through the scheduler
+to measure sustained throughput with single-flight dedup and
+micro-batching enabled.
+
+The machine-readable record lands in ``BENCH_service.json`` at the
+repository root (override with ``REPRO_BENCH_SERVICE_OUT``), including the
+speedup of the result-cached and delta paths over cold — the serving
+layer's reason to exist; both are expected to clear 10x on any machine.
+
+Run standalone for the full-size measurement, or ``--smoke`` for the CI
+end-to-end exercise::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import ServiceConfig  # noqa: E402
+from repro.data.generators import correlated_pair, pareto_relation  # noqa: E402
+from repro.metrics.report import format_table  # noqa: E402
+from repro.service import BandJoinService  # noqa: E402
+
+#: Full-size workload shape (Table-2-style 2-d Pareto-1.5 band join).
+FULL_ROWS_PER_INPUT = 50_000
+SMOKE_ROWS_PER_INPUT = 4_000
+DIMENSIONS = 2
+SKEW = 1.5
+WORKERS = 8
+DELTA_FRACTION = 0.01
+#: Epsilon parameters sampled per path (each is one prepared-query binding).
+EPSILONS = (0.004, 0.006, 0.008, 0.010, 0.012, 0.014)
+RESULT_CACHE_REPEATS = 5
+CONCURRENT_REQUESTS = 60
+
+
+def _percentiles(samples: list[float]) -> dict:
+    ordered = sorted(samples)
+
+    def pick(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+    return {
+        "p50": pick(0.50),
+        "p95": pick(0.95),
+        "p99": pick(0.99),
+        "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        "samples": len(ordered),
+    }
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_service_benchmark(rows_per_input: int) -> dict:
+    """Measure every serving path on one workload and return the perf record."""
+    s, t = correlated_pair(
+        rows_per_input, rows_per_input, dimensions=DIMENSIONS, z=SKEW, seed=0
+    )
+    attributes = [f"A{i + 1}" for i in range(DIMENSIONS)]
+    delta_rows = max(1, int(rows_per_input * DELTA_FRACTION))
+    config = ServiceConfig(
+        backend="threads",
+        workers=WORKERS,
+        staleness_threshold=10.0,  # keep the deltas un-compacted while measuring
+        compaction="off",
+        scheduler_workers=4,
+    )
+
+    latencies: dict[str, list[float]] = {
+        "cold": [],
+        "plan_cache": [],
+        "result_cache": [],
+        "delta": [],
+    }
+    outputs: dict[float, int] = {}
+
+    with BandJoinService(config) as service:
+        service.register("S", s)
+        service.register("T", t)
+        prepared = service.prepare(
+            "bench", "S", "T", attributes=attributes, epsilons=EPSILONS[0]
+        )
+
+        # Path 1: cold — every epsilon optimizes its own plan and joins.
+        for eps in EPSILONS:
+            result = service.query("bench", eps)
+            assert result.path == "cold", result.path
+            latencies["cold"].append(result.seconds)
+            outputs[eps] = result.n_pairs
+
+        # Path 2: plan-cached — drop materialized results, keep the plans.
+        prepared.invalidate()
+        for eps in EPSILONS:
+            result = service.query("bench", eps)
+            assert result.path == "plan_cache", result.path
+            latencies["plan_cache"].append(result.seconds)
+            assert result.n_pairs == outputs[eps]
+
+        # Path 3: result-cached — repeats answer from the result cache.
+        for _ in range(RESULT_CACHE_REPEATS):
+            for eps in EPSILONS:
+                result = service.query("bench", eps)
+                assert result.path == "result_cache", result.path
+                latencies["result_cache"].append(result.seconds)
+                assert result.n_pairs == outputs[eps]
+
+        # Path 4: post-append delta — 1% of fresh rows on the S side.
+        delta = pareto_relation("S", delta_rows, dimensions=DIMENSIONS, z=SKEW, seed=99)
+        service.append("S", delta)
+        for eps in EPSILONS:
+            result = service.query("bench", eps)
+            assert result.path == "delta", result.path
+            latencies["delta"].append(result.seconds)
+            assert result.n_pairs >= outputs[eps]
+
+        # Concurrent section: mixed epsilons through the scheduler.
+        throughput_start = time.perf_counter()
+        futures = [
+            service.submit("bench", EPSILONS[i % len(EPSILONS)])
+            for i in range(CONCURRENT_REQUESTS)
+        ]
+        for future in futures:
+            future.result(timeout=600)
+        throughput_seconds = time.perf_counter() - throughput_start
+        scheduler_snapshot = service.scheduler.metrics.snapshot()
+
+    paths = {path: _percentiles(samples) for path, samples in latencies.items()}
+    cold_p50 = paths["cold"]["p50"]
+    record = {
+        "benchmark": "service-paths",
+        "workload": {
+            "rows_per_input": rows_per_input,
+            "dimensions": DIMENSIONS,
+            "skew": SKEW,
+            "workers": WORKERS,
+            "epsilons": list(EPSILONS),
+            "delta_rows": delta_rows,
+            "delta_fraction": DELTA_FRACTION,
+        },
+        "machine": {
+            "cpus": _cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "paths": paths,
+        "speedup_vs_cold": {
+            path: (cold_p50 / stats["p50"]) if stats["p50"] > 0 else float("inf")
+            for path, stats in paths.items()
+        },
+        "concurrent": {
+            "requests": CONCURRENT_REQUESTS,
+            "wall_seconds": throughput_seconds,
+            "throughput_qps": CONCURRENT_REQUESTS / throughput_seconds
+            if throughput_seconds
+            else float("inf"),
+            "scheduler": scheduler_snapshot,
+        },
+        "output_pairs": {str(eps): count for eps, count in sorted(outputs.items())},
+    }
+    record["result_cache_speedup_ok"] = record["speedup_vs_cold"]["result_cache"] >= 10.0
+    record["delta_speedup_ok"] = record["speedup_vs_cold"]["delta"] >= 10.0
+    return record
+
+
+def render(record: dict) -> str:
+    """Render the perf record as an aligned table."""
+    rows = [
+        [
+            path,
+            stats["samples"],
+            stats["p50"],
+            stats["p95"],
+            stats["p99"],
+            record["speedup_vs_cold"][path],
+        ]
+        for path, stats in record["paths"].items()
+    ]
+    concurrent = record["concurrent"]
+    title = (
+        f"serving paths (|S|=|T|={record['workload']['rows_per_input']:,}, "
+        f"w={record['workload']['workers']}, {record['machine']['cpus']} CPUs) — "
+        f"concurrent: {concurrent['throughput_qps']:.0f} q/s over "
+        f"{concurrent['requests']} mixed requests"
+    )
+    return format_table(
+        ["path", "n", "p50 [s]", "p95 [s]", "p99 [s]", "vs cold"], rows, title=title
+    )
+
+
+def record_path() -> Path:
+    """Return the output path of the JSON perf record."""
+    override = os.environ.get("REPRO_BENCH_SERVICE_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def write_record(record: dict) -> Path:
+    """Write the JSON perf record and return its path."""
+    path = record_path()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_service_paths_benchmark():
+    """The fast paths clear 10x over cold; the record lands in BENCH_service.json."""
+    from conftest import bench_scale, write_report
+
+    rows = max(SMOKE_ROWS_PER_INPUT, int(FULL_ROWS_PER_INPUT * bench_scale()))
+    record = run_service_benchmark(rows)
+    assert record["result_cache_speedup_ok"]
+    assert record["delta_speedup_ok"]
+    path = write_record(record)
+    write_report("service_paths", render(record) + f"\n[record written to {path}]")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        rows_arg = SMOKE_ROWS_PER_INPUT
+    else:
+        positional = [a for a in sys.argv[1:] if not a.startswith("-")]
+        rows_arg = int(positional[0]) if positional else FULL_ROWS_PER_INPUT
+    perf_record = run_service_benchmark(rows_arg)
+    print(render(perf_record))
+    print(f"\n[record written to {write_record(perf_record)}]")
+    if not (perf_record["result_cache_speedup_ok"] and perf_record["delta_speedup_ok"]):
+        print("WARNING: a fast path fell below the expected 10x speedup over cold")
+        sys.exit(1)

@@ -22,7 +22,7 @@ Quickstart
 True
 """
 
-from repro.config import EngineConfig, LoadWeights, RecPartConfig
+from repro.config import EngineConfig, LoadWeights, RecPartConfig, ServiceConfig
 from repro.exceptions import (
     BandConditionError,
     CostModelError,
@@ -32,6 +32,8 @@ from repro.exceptions import (
     ReproError,
     SamplingError,
     SchemaError,
+    ServiceError,
+    ServiceOverloadError,
     WorkloadError,
 )
 from repro.geometry.band import BandCondition
@@ -69,6 +71,13 @@ from repro.baselines.iejoin import IEJoinPartitioner
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.executor import DistributedBandJoinExecutor, ExecutionResult
 from repro.engine import EngineResult, ParallelJoinEngine, PlanCache, available_backends
+from repro.service import (
+    BandJoinService,
+    PreparedQuery,
+    QueryResult,
+    QueryScheduler,
+    RelationCatalog,
+)
 from repro.cost.model import ModelCoefficients, RunningTimeModel, default_running_time_model
 from repro.cost.calibration import calibrate_running_time_model
 from repro.cost.lower_bounds import LowerBounds, compute_lower_bounds
@@ -137,6 +146,15 @@ __all__ = [
     "PlanCache",
     "available_backends",
     "EngineConfig",
+    # serving layer
+    "BandJoinService",
+    "RelationCatalog",
+    "PreparedQuery",
+    "QueryResult",
+    "QueryScheduler",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadError",
     # cost model and metrics
     "ModelCoefficients",
     "RunningTimeModel",

@@ -8,6 +8,7 @@ Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
 * ``table``      — reproduce one of the paper's tables (e.g. ``table 2b``).
 * ``figure4``    — reproduce the overhead scatter of Figures 4 / 10.
 * ``calibrate``  — calibrate the running-time model on this machine and print it.
+* ``serve``      — run the band-join serving layer (JSON lines on stdio or TCP).
 * ``list``       — list the available tables and workload families.
 """
 
@@ -77,6 +78,34 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate = subparsers.add_parser("calibrate", help="calibrate the running-time model")
     calibrate.add_argument("--queries", type=int, default=24, help="number of training queries")
     calibrate.add_argument("--base-input", type=int, default=4000, help="baseline training input size")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the band-join service (JSON-lines protocol on stdio or TCP)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on this TCP port instead of serving stdin/stdout",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--backend",
+        choices=ENGINE_BACKENDS,
+        default="threads",
+        help="execution backend of the underlying engine (default: threads)",
+    )
+    serve.add_argument("--workers", type=int, default=None, help="partition workers per query")
+    serve.add_argument(
+        "--scheduler-workers", type=int, default=None, help="scheduler thread count"
+    )
+    serve.add_argument(
+        "--staleness-threshold",
+        type=float,
+        default=None,
+        help="delta fraction that triggers background re-partitioning",
+    )
 
     subparsers.add_parser("list", help="list available tables and workloads")
     return parser
@@ -224,6 +253,39 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.config import ServiceConfig
+    from repro.service import BandJoinService, LineProtocolServer, serve_lines
+
+    overrides = {"backend": args.backend}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.scheduler_workers is not None:
+        overrides["scheduler_workers"] = args.scheduler_workers
+    if args.staleness_threshold is not None:
+        overrides["staleness_threshold"] = args.staleness_threshold
+    service = BandJoinService(config=ServiceConfig(**overrides))
+    with service:
+        if args.port is None:
+            print(
+                '{"ok": true, "op": "ready", "transport": "stdio"}',
+                flush=True,
+            )
+            serve_lines(service, sys.stdin, sys.stdout)
+            return 0
+        server = LineProtocolServer((args.host, args.port), service)
+        port = server.server_address[1]
+        print(f'{{"ok": true, "op": "ready", "transport": "tcp", "port": {port}}}', flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
 def _command_list(_: argparse.Namespace) -> int:
     from repro.experiments.tables import ALL_TABLES
 
@@ -253,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "table": _command_table,
         "figure4": _command_figure4,
         "calibrate": _command_calibrate,
+        "serve": _command_serve,
         "list": _command_list,
     }
     return handlers[args.command](args)

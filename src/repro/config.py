@@ -62,6 +62,23 @@ DEFAULT_ENGINE_BACKEND: str = "simulated"
 #: Default maximum number of cached partitioning plans.
 DEFAULT_PLAN_CACHE_SIZE: int = 32
 
+#: Default maximum number of materialized results cached per prepared query.
+DEFAULT_RESULT_CACHE_SIZE: int = 64
+
+#: Default delta-to-base row fraction past which a catalog relation is
+#: considered stale and re-partitioning (compaction) is triggered.
+DEFAULT_STALENESS_THRESHOLD: float = 0.25
+
+#: Default number of scheduler worker threads serving queries.
+DEFAULT_SCHEDULER_WORKERS: int = 4
+
+#: Default admission-control limit on pending (queued + executing) queries.
+DEFAULT_MAX_PENDING: int = 128
+
+#: Default maximum number of compatible requests micro-batched onto one
+#: engine dispatch.
+DEFAULT_MAX_BATCH: int = 8
+
 
 @dataclass(frozen=True)
 class LoadWeights:
@@ -128,6 +145,61 @@ class EngineConfig:
     def is_simulated(self) -> bool:
         """Return ``True`` when the legacy simulated path is selected."""
         return self.backend == "simulated"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the online band-join serving layer.
+
+    Attributes
+    ----------
+    backend:
+        Execution backend of the underlying engine (``"simulated"`` maps to
+        the ``serial`` reference, as everywhere in :mod:`repro.engine`).
+    workers:
+        Default partition-worker budget of served queries.
+    plan_cache_size / result_cache_size:
+        Capacity of the shared plan cache and of each prepared query's
+        materialized-result cache.
+    staleness_threshold:
+        Delta-to-base row fraction past which a relation is compacted
+        (deltas merged into the base, plans re-optimized).
+    compaction:
+        ``"background"`` (compact on a background thread, the serving
+        default), ``"sync"`` (compact inside the triggering append — used by
+        tests and single-threaded scripts) or ``"off"``.
+    scheduler_workers / max_pending / max_batch:
+        Query-scheduler thread count, admission-control limit on pending
+        queries, and micro-batching fan-in per engine dispatch.
+    """
+
+    backend: str = "threads"
+    workers: int = DEFAULT_WORKERS
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
+    staleness_threshold: float = DEFAULT_STALENESS_THRESHOLD
+    compaction: str = "background"
+    scheduler_workers: int = DEFAULT_SCHEDULER_WORKERS
+    max_pending: int = DEFAULT_MAX_PENDING
+    max_batch: int = DEFAULT_MAX_BATCH
+
+    def __post_init__(self) -> None:
+        if self.backend not in ENGINE_BACKENDS:
+            raise ValueError(f"backend must be one of {ENGINE_BACKENDS}, got {self.backend!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.plan_cache_size < 1 or self.result_cache_size < 1:
+            raise ValueError("cache sizes must be at least 1")
+        if self.staleness_threshold <= 0:
+            raise ValueError("staleness_threshold must be positive")
+        if self.compaction not in ("background", "sync", "off"):
+            raise ValueError("compaction must be 'background', 'sync' or 'off'")
+        if self.scheduler_workers < 1:
+            raise ValueError("scheduler_workers must be at least 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
 
 
 @dataclass(frozen=True)

@@ -228,8 +228,7 @@ def clustered_relation(
     rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
     assignments = rng.choice(n_clusters, size=n_rows, p=weights_arr)
     points = centers_arr[assignments] + rng.normal(size=(n_rows, d)) * spreads_arr[assignments][:, None]
-    columns = {names[i]: points[:, i] for i in range(d)}
-    return Relation(name, columns)
+    return Relation.from_rows(name, points, names)
 
 
 def correlated_pair(

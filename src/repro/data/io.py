@@ -67,5 +67,4 @@ def load_csv(path: str | Path, name: str | None = None) -> Relation:
     if not header:
         raise SchemaError(f"CSV file {path} has no header")
     data = np.array(rows, dtype=float) if rows else np.empty((0, len(header)))
-    columns = {col: data[:, i] for i, col in enumerate(header)}
-    return Relation(name or path.stem, columns)
+    return Relation.from_rows(name or path.stem, data, header)

@@ -13,12 +13,31 @@ so the representation is intentionally simple and fast rather than general.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping, Sequence
 from typing import Iterator
 
 import numpy as np
 
 from repro.exceptions import SchemaError
+
+
+def fingerprint_columns(columns: Sequence[tuple[str, np.ndarray]], rows: int) -> str:
+    """Return a content hash of named columns (blake2b over the raw bytes).
+
+    The hash covers the row count, the number of columns and — per column —
+    its name, dtype and value bytes, so two column sets fingerprint equally
+    iff they are byte-identical in the given order.  This is the primitive
+    behind :meth:`Relation.fingerprint` and the plan cache's content keys.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{rows}:{len(columns)}".encode())
+    for name, values in columns:
+        column = np.ascontiguousarray(values)
+        digest.update(name.encode())
+        digest.update(str(column.dtype).encode())
+        digest.update(column.tobytes())
+    return digest.hexdigest()
 
 
 class Relation:
@@ -56,6 +75,33 @@ class Relation:
         self._name = name
         self._columns = converted
         self._length = int(length if length is not None else 0)
+        # Memoized content fingerprints per attribute tuple; safe because the
+        # relation (and, by contract, its arrays) never change after init.
+        self._fingerprints: dict[tuple[str, ...], str] = {}
+
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: np.ndarray, column_names: Sequence[str]
+    ) -> "Relation":
+        """Build a relation from an ``(n, d)`` row matrix and column names.
+
+        Columns are views into ``rows`` (dtype preserved, nothing copied), so
+        the caller must not mutate the matrix afterwards — the same contract
+        as the main constructor.
+        """
+        matrix = np.asarray(rows)
+        names = list(column_names)
+        if matrix.ndim != 2:
+            raise SchemaError(
+                f"from_rows expects an (n, d) matrix for relation {name!r}, "
+                f"got shape {matrix.shape}"
+            )
+        if matrix.shape[1] != len(names):
+            raise SchemaError(
+                f"relation {name!r}: {len(names)} column names for a matrix "
+                f"with {matrix.shape[1]} columns"
+            )
+        return cls(name, {col: matrix[:, i] for i, col in enumerate(names)})
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -100,6 +146,21 @@ class Relation:
     def has_columns(self, names: Sequence[str]) -> bool:
         """Return ``True`` when every name in ``names`` is a column of this relation."""
         return all(n in self._columns for n in names)
+
+    def fingerprint(self, attributes: Sequence[str]) -> str:
+        """Return the memoized content hash of the given columns.
+
+        Relations are immutable, so the hash is computed at most once per
+        attribute tuple and then reused — on a serving hot path this turns
+        every further plan-cache lookup over the same relation into a pure
+        dictionary access instead of a re-hash of the column bytes.
+        """
+        key = tuple(attributes)
+        cached = self._fingerprints.get(key)
+        if cached is None:
+            cached = fingerprint_columns([(a, self.column(a)) for a in key], self._length)
+            self._fingerprints[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Projections and row subsets

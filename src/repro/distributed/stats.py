@@ -137,3 +137,30 @@ class JobStats:
             "max_worker_output": self.max_worker_output(weights),
             "load_imbalance": self.load_imbalance(weights),
         }
+
+
+def merge_job_stats(jobs: "list[JobStats]") -> JobStats:
+    """Merge per-worker accounting of several executions into one JobStats.
+
+    Used by the serving layer to report one consolidated accounting for a
+    query answered by multiple engine dispatches (the cached base join plus
+    one delta join per appended side).  Worker lists are aligned by worker
+    id; the merged job spans the widest worker range of its parts.
+    """
+    if not jobs:
+        raise ExecutionError("merge_job_stats needs at least one job")
+    n_workers = max(job.n_workers for job in jobs)
+    merged = [WorkerStats(worker_id=i) for i in range(n_workers)]
+    for job in jobs:
+        for worker in job.workers:
+            into = merged[worker.worker_id]
+            into.input_s += worker.input_s
+            into.input_t += worker.input_t
+            into.output += worker.output
+            into.units += worker.units
+            into.local_seconds += worker.local_seconds
+    return JobStats(
+        workers=merged,
+        total_output=sum(job.total_output for job in jobs),
+        baseline_input=max(job.baseline_input for job in jobs),
+    )

@@ -22,7 +22,7 @@ is exceeded.
 
 from __future__ import annotations
 
-import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -30,14 +30,14 @@ from typing import Hashable
 import numpy as np
 
 from repro.core.partitioner import JoinPartitioning, Partitioner
-from repro.data.relation import Relation
+from repro.data.relation import Relation, fingerprint_columns
 from repro.geometry.band import BandCondition
 
 #: Default maximum number of cached plans.
 DEFAULT_PLAN_CACHE_SIZE = 32
 
 
-def relation_fingerprint(relation: Relation, attributes: tuple[str, ...]) -> str:
+def relation_fingerprint(relation, attributes: tuple[str, ...]) -> str:
     """Return a content hash of the relation's join columns.
 
     The fingerprint covers the column values, their order, dtype and length,
@@ -45,15 +45,16 @@ def relation_fingerprint(relation: Relation, attributes: tuple[str, ...]) -> str
     routes the other identically.  Hashing is a single linear pass (blake2b
     over the raw column bytes) — orders of magnitude cheaper than any
     optimizer run it may save.
+
+    :class:`~repro.data.relation.Relation` instances answer from their
+    memoized :meth:`~repro.data.relation.Relation.fingerprint`; ad-hoc
+    column mappings (``{name: array}``) are hashed on the spot.
     """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(f"{len(relation)}:{len(attributes)}".encode())
-    for attribute in attributes:
-        column = np.ascontiguousarray(relation.column(attribute))
-        digest.update(attribute.encode())
-        digest.update(str(column.dtype).encode())
-        digest.update(column.tobytes())
-    return digest.hexdigest()
+    if isinstance(relation, Relation):
+        return relation.fingerprint(attributes)
+    columns = [(a, np.asarray(relation[a])) for a in attributes]
+    rows = int(columns[0][1].shape[0]) if columns else 0
+    return fingerprint_columns(columns, rows)
 
 
 def condition_key(condition: BandCondition) -> tuple:
@@ -115,7 +116,14 @@ class PlanCacheStats:
 
 @dataclass
 class PlanCache:
-    """LRU cache of computed join partitionings.
+    """Thread-safe LRU cache of computed join partitionings.
+
+    All bookkeeping (the LRU ``OrderedDict`` plus the hit/miss counters) is
+    guarded by one lock, so a single cache can be shared by the scheduler's
+    worker threads.  Optimizer runs happen *outside* the lock — two threads
+    missing on the same key may both optimize, but neither blocks unrelated
+    lookups, and the single-flight deduplication of the query scheduler
+    prevents that duplicate work for identical requests anyway.
 
     Parameters
     ----------
@@ -127,35 +135,40 @@ class PlanCache:
     max_entries: int = DEFAULT_PLAN_CACHE_SIZE
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
             raise ValueError("max_entries must be at least 1")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple) -> JoinPartitioning | None:
         """Return the cached plan for ``key`` (marking it recently used)."""
-        plan = self._entries.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return plan
 
     def put(self, key: tuple, plan: JoinPartitioning) -> None:
         """Insert a plan, evicting the least recently used entry if full."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def get_or_build(
         self,

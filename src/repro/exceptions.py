@@ -50,3 +50,13 @@ class ExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """An experiment workload definition is inconsistent."""
+
+
+class ServiceError(ReproError):
+    """The band-join serving layer was used incorrectly (unknown relation or
+    prepared query, malformed request, operation on a closed service)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The query scheduler rejected a request because the admission-control
+    limit on pending queries was reached; retry after in-flight work drains."""

@@ -1,0 +1,274 @@
+"""Named, versioned relation catalog with incremental delta appends.
+
+The catalog is the serving layer's data plane.  Every registered relation is
+held as a **base** (the part the optimizer has seen — plans and materialized
+base results key off its content) plus a **delta** tail of rows appended
+since the base was last (re-)partitioned.  An append therefore never touches
+the base: it concatenates onto the delta and bumps the content version,
+which is what invalidates the prepared queries' materialized results.
+
+Once the delta grows past a configurable fraction of the base
+(:attr:`RelationCatalog.staleness_threshold`), the relation is *stale*: the
+catalog reports it and fires the ``on_stale`` callback, which the service
+wires to background compaction — merging the delta into a new base, after
+which the next query re-optimizes over the full data.  Until then, queries
+answer through the delta-join path of
+:class:`~repro.service.prepared.PreparedQuery`, which routes only the
+appended rows through the existing partitioning.
+
+All mutation happens under one lock; readers receive immutable
+:class:`RelationSnapshot` objects and are never blocked by an append racing
+with their query.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.config import DEFAULT_STALENESS_THRESHOLD
+from repro.data.relation import Relation
+from repro.exceptions import ServiceError
+
+__all__ = ["RelationSnapshot", "RelationCatalog"]
+
+
+def _as_relation(name: str, data) -> Relation:
+    """Coerce a Relation or a ``{column: array}`` mapping into a Relation."""
+    if isinstance(data, Relation):
+        return data if data.name == name else data.rename(name)
+    if isinstance(data, Mapping):
+        return Relation(name, {c: np.asarray(v) for c, v in data.items()})
+    raise ServiceError(
+        f"relation data for {name!r} must be a Relation or a column mapping, "
+        f"got {type(data).__name__}"
+    )
+
+
+class RelationSnapshot:
+    """Immutable view of one catalog relation at a point in time.
+
+    Attributes
+    ----------
+    name:
+        Catalog name of the relation.
+    version:
+        Content version; bumped on every append and re-registration.  Result
+        caches key off this, so stale results can never be served.
+    base_version:
+        Partitioning lineage; bumped when the base changes (registration or
+        compaction) but *not* on appends — cached plans and base results
+        stay valid across appends.
+    base / delta:
+        The optimized part and the appended tail (``None`` when no rows have
+        been appended since the last compaction).
+    """
+
+    __slots__ = ("name", "version", "base_version", "base", "delta", "_full")
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        base_version: int,
+        base: Relation,
+        delta: Relation | None,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.base_version = base_version
+        self.base = base
+        self.delta = delta
+        self._full: Relation | None = None
+
+    @property
+    def full(self) -> Relation:
+        """Return base and delta concatenated (materialized lazily, once)."""
+        if self.delta is None:
+            return self.base
+        full = self._full
+        if full is None:
+            full = self.base.concat(self.delta)
+            self._full = full
+        return full
+
+    @property
+    def rows(self) -> int:
+        """Return the total row count including the delta."""
+        return len(self.base) + self.delta_rows
+
+    @property
+    def delta_rows(self) -> int:
+        """Return the number of appended rows awaiting compaction."""
+        return 0 if self.delta is None else len(self.delta)
+
+    @property
+    def staleness(self) -> float:
+        """Return the delta-to-base row fraction."""
+        return self.delta_rows / max(1, len(self.base))
+
+    def describe(self) -> dict:
+        """Return a JSON-friendly summary."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "base_version": self.base_version,
+            "rows": self.rows,
+            "delta_rows": self.delta_rows,
+            "staleness": self.staleness,
+            "columns": list(self.base.column_names),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationSnapshot(name={self.name!r}, version={self.version}, "
+            f"rows={self.rows}, delta_rows={self.delta_rows})"
+        )
+
+
+class RelationCatalog:
+    """Registry of named, versioned relations supporting incremental appends.
+
+    Parameters
+    ----------
+    staleness_threshold:
+        Delta-to-base fraction past which :meth:`append` reports the
+        relation stale and fires ``on_stale``.
+    on_stale:
+        Callback ``on_stale(name)`` invoked (outside the catalog lock) when
+        an append pushes a relation past the threshold; the service uses it
+        to schedule background compaction.
+    """
+
+    def __init__(
+        self,
+        staleness_threshold: float = DEFAULT_STALENESS_THRESHOLD,
+        on_stale=None,
+    ) -> None:
+        if staleness_threshold <= 0:
+            raise ServiceError("staleness_threshold must be positive")
+        self.staleness_threshold = staleness_threshold
+        self.on_stale = on_stale
+        self._lock = threading.Lock()
+        self._entries: dict[str, RelationSnapshot] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and lookup
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, data, replace: bool = False) -> RelationSnapshot:
+        """Register a relation under ``name`` (a fresh base with no delta)."""
+        relation = _as_relation(name, data)
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None and not replace:
+                raise ServiceError(
+                    f"relation {name!r} is already registered; pass replace=True to overwrite"
+                )
+            version = existing.version + 1 if existing is not None else 1
+            base_version = existing.base_version + 1 if existing is not None else 1
+            snapshot = RelationSnapshot(name, version, base_version, relation, None)
+            self._entries[name] = snapshot
+            return snapshot
+
+    def get(self, name: str) -> RelationSnapshot:
+        """Return the current snapshot of ``name``."""
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise ServiceError(
+                    f"unknown relation {name!r}; registered: {sorted(self._entries)}"
+                ) from None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def names(self) -> list[str]:
+        """Return the registered relation names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def drop(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        with self._lock:
+            if self._entries.pop(name, None) is None:
+                raise ServiceError(f"unknown relation {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def append(self, name: str, rows) -> RelationSnapshot:
+        """Append rows to a relation's delta and return the new snapshot.
+
+        The appended rows are schema-checked against the base; the base
+        itself (and therefore every cached plan and base result) is
+        untouched.  When the grown delta pushes the relation past the
+        staleness threshold, ``on_stale(name)`` fires after the catalog
+        lock is released.
+        """
+        delta_rows = _as_relation(name, rows)
+        stale = False
+        with self._lock:
+            current = self._entries.get(name)
+            if current is None:
+                raise ServiceError(f"cannot append to unknown relation {name!r}")
+            if len(delta_rows) == 0:
+                return current
+            if delta_rows.column_names != current.base.column_names:
+                raise ServiceError(
+                    f"appended rows for {name!r} have schema "
+                    f"{delta_rows.column_names}, expected {current.base.column_names}"
+                )
+            delta = (
+                delta_rows
+                if current.delta is None
+                else current.delta.concat(delta_rows)
+            )
+            snapshot = RelationSnapshot(
+                name, current.version + 1, current.base_version, current.base, delta
+            )
+            self._entries[name] = snapshot
+            stale = snapshot.staleness >= self.staleness_threshold
+        if stale and self.on_stale is not None:
+            self.on_stale(name)
+        return snapshot
+
+    def compact(self, name: str) -> RelationSnapshot:
+        """Merge a relation's delta into a fresh base (the re-partition point).
+
+        The content version is preserved — the rows are unchanged, so
+        materialized results for the current version remain servable — but
+        the base lineage is bumped: the next uncached query re-optimizes
+        over the full data instead of taking the delta path.
+        """
+        with self._lock:
+            current = self._entries.get(name)
+            if current is None:
+                raise ServiceError(f"cannot compact unknown relation {name!r}")
+            if current.delta is None:
+                return current
+            snapshot = RelationSnapshot(
+                name, current.version, current.base_version + 1, current.full, None
+            )
+            self._entries[name] = snapshot
+            return snapshot
+
+    def stale_names(self) -> list[str]:
+        """Return the relations currently past the staleness threshold."""
+        with self._lock:
+            return sorted(
+                name
+                for name, snap in self._entries.items()
+                if snap.staleness >= self.staleness_threshold
+            )
+
+    def describe(self) -> dict:
+        """Return a JSON-friendly summary of every registered relation."""
+        with self._lock:
+            return {name: snap.describe() for name, snap in self._entries.items()}
+
+    def __repr__(self) -> str:
+        return f"RelationCatalog(relations={self.names()})"

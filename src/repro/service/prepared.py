@@ -1,0 +1,473 @@
+"""Prepared band-join queries with result caching and delta joins.
+
+A :class:`PreparedQuery` binds a catalog relation pair to a band-condition
+*template*: the join attributes are fixed at prepare time, the epsilon
+widths are parameters supplied per execution.  Execution resolves through
+the engine's :class:`~repro.engine.plan_cache.PlanCache` (so the expensive
+RecPart optimization runs once per (base contents, epsilon) combination)
+and through a per-query **result cache** of materialized pair sets keyed by
+``(s version, t version, epsilons)`` — appending to either relation bumps
+its version, which invalidates every affected result automatically.
+
+The interesting path is the **delta join**.  With base results cached and
+rows appended since, the full answer decomposes as::
+
+    J(S ∪ ΔS, T ∪ ΔT)  =  J(S, T)  ∪  J(ΔS, T ∪ ΔT)  ∪  J(S, ΔT)
+
+The first term is the cached base result; the other two route only the
+appended rows through the *existing* partitioning
+(:meth:`~repro.engine.engine.ParallelJoinEngine.execute` with the cached
+plan), so an append of ``k`` rows costs O(k · matching output) instead of a
+re-optimization plus a full re-join.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import DEFAULT_RESULT_CACHE_SIZE, DEFAULT_WORKERS
+from repro.distributed.stats import JobStats, merge_job_stats
+from repro.engine.engine import ParallelJoinEngine
+from repro.exceptions import ServiceError
+from repro.geometry.band import BandCondition
+from repro.service.catalog import RelationCatalog, RelationSnapshot
+
+__all__ = ["QueryResult", "PreparedQuery", "PreparedQueryStats"]
+
+#: Execution paths a query can take, slowest to fastest.
+PATH_COLD = "cold"                  # optimize + full join
+PATH_PLAN_CACHE = "plan_cache"      # cached plan + full join
+PATH_DELTA = "delta"                # cached base result + delta joins
+PATH_RESULT_CACHE = "result_cache"  # cached materialized result
+PATH_MICRO_BATCH = "micro_batch"    # filtered from a batched wide dispatch
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Materialized outcome of one prepared-query execution.
+
+    ``pairs`` holds globally indexed ``(s_row, t_row)`` output pairs; row
+    indices address the *full* relations (base rows first, appended rows
+    after, in append order).  Pair order is unspecified — it depends on the
+    execution path; canonicalize with
+    :func:`~repro.local_join.base.canonical_pair_order` when comparing.
+    """
+
+    pairs: np.ndarray
+    path: str
+    s_name: str
+    t_name: str
+    s_version: int
+    t_version: int
+    seconds: float
+    optimization_seconds: float = 0.0
+    job: JobStats | None = None
+
+    @property
+    def n_pairs(self) -> int:
+        """Return the number of output pairs."""
+        return int(self.pairs.shape[0])
+
+    def describe(self, sample: int = 0) -> dict:
+        """Return a JSON-friendly summary (optionally with sample pairs)."""
+        info = {
+            "pairs": self.n_pairs,
+            "path": self.path,
+            "s": {"name": self.s_name, "version": self.s_version},
+            "t": {"name": self.t_name, "version": self.t_version},
+            "seconds": self.seconds,
+            "optimization_seconds": self.optimization_seconds,
+        }
+        if sample > 0:
+            info["sample"] = self.pairs[:sample].tolist()
+        return info
+
+
+@dataclass
+class PreparedQueryStats:
+    """Per-path execution counters of one prepared query."""
+
+    executions: int = 0
+    cold: int = 0
+    plan_cached: int = 0
+    delta: int = 0
+    result_cached: int = 0
+
+    def record(self, path: str) -> None:
+        """Count one execution of the given path."""
+        self.executions += 1
+        if path == PATH_COLD:
+            self.cold += 1
+        elif path == PATH_PLAN_CACHE:
+            self.plan_cached += 1
+        elif path == PATH_DELTA:
+            self.delta += 1
+        elif path == PATH_RESULT_CACHE:
+            self.result_cached += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "executions": self.executions,
+            "cold": self.cold,
+            "plan_cached": self.plan_cached,
+            "delta": self.delta,
+            "result_cached": self.result_cached,
+        }
+
+
+class PreparedQuery:
+    """A parameterized band-join over two catalog relations.
+
+    Parameters
+    ----------
+    catalog / engine:
+        The shared relation catalog and execution engine (the engine's plan
+        cache is the one amortizing optimization across queries).
+    s_name / t_name:
+        Catalog names of the S- and T-side relations.
+    attributes:
+        Join attributes (the band-condition template's dimensions).
+    default_epsilons:
+        Optional default band widths used when an execution passes none.
+    workers:
+        Partition-worker budget of the optimized plans.
+    partitioner:
+        Optimizer used on plan-cache misses (RecPart by default).
+    result_cache_size:
+        LRU capacity of the materialized-result cache.
+    """
+
+    def __init__(
+        self,
+        catalog: RelationCatalog,
+        engine: ParallelJoinEngine,
+        s_name: str,
+        t_name: str,
+        attributes: Sequence[str],
+        default_epsilons=None,
+        workers: int = DEFAULT_WORKERS,
+        partitioner=None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ) -> None:
+        if not attributes:
+            raise ServiceError("a prepared query needs at least one join attribute")
+        if workers < 1:
+            raise ServiceError("workers must be at least 1")
+        if result_cache_size < 1:
+            raise ServiceError("result_cache_size must be at least 1")
+        self.catalog = catalog
+        self.engine = engine
+        self.s_name = s_name
+        self.t_name = t_name
+        self.attributes = tuple(attributes)
+        self.workers = int(workers)
+        if partitioner is None:
+            from repro.core.recpart import RecPartPartitioner
+
+            partitioner = RecPartPartitioner(weights=engine.weights)
+        self.partitioner = partitioner
+        self.result_cache_size = result_cache_size
+        self.default_epsilons = (
+            None if default_epsilons is None else self._normalize(default_epsilons)
+        )
+        self.stats = PreparedQueryStats()
+        #: Stable identity used by the scheduler for single-flight dedup and
+        #: micro-batch grouping: equal keys answer from the same caches.
+        self.key = (s_name, t_name, self.attributes, self.workers, partitioner.name)
+        self._lock = threading.Lock()
+        self._results: OrderedDict = OrderedDict()       # (sv, tv, ekey) -> QueryResult
+        self._base_results: OrderedDict = OrderedDict()  # (sbv, tbv, ekey) -> QueryResult
+        # Validate the schema eagerly so prepare() fails fast.
+        for name in (s_name, t_name):
+            snapshot = catalog.get(name)
+            missing = [a for a in self.attributes if a not in snapshot.base]
+            if missing:
+                raise ServiceError(
+                    f"relation {name!r} is missing join attributes {missing}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Epsilon template binding
+    # ------------------------------------------------------------------ #
+    def _normalize(self, epsilons) -> tuple[tuple[float, float], ...]:
+        """Normalize an epsilon specification to per-attribute (left, right) pairs."""
+        d = len(self.attributes)
+        if isinstance(epsilons, Mapping):
+            missing = [a for a in self.attributes if a not in epsilons]
+            if missing:
+                raise ServiceError(f"epsilons missing for attributes {missing}")
+            values = [epsilons[a] for a in self.attributes]
+        elif isinstance(epsilons, (int, float)):
+            values = [float(epsilons)] * d
+        else:
+            values = list(epsilons)
+            if len(values) != d:
+                raise ServiceError(
+                    f"expected {d} epsilon values (one per attribute), got {len(values)}"
+                )
+        pairs: list[tuple[float, float]] = []
+        for value in values:
+            if isinstance(value, (tuple, list)):
+                if len(value) != 2:
+                    raise ServiceError("asymmetric epsilons must be (left, right) pairs")
+                pairs.append((float(value[0]), float(value[1])))
+            else:
+                pairs.append((float(value), float(value)))
+        return tuple(pairs)
+
+    def resolve_epsilons(self, epsilons=None) -> tuple[tuple[float, float], ...]:
+        """Return the normalized epsilons of one execution (defaults applied)."""
+        if epsilons is None:
+            if self.default_epsilons is None:
+                raise ServiceError(
+                    f"prepared query {self.key} has no default epsilons; pass some"
+                )
+            return self.default_epsilons
+        return self._normalize(epsilons)
+
+    def condition(self, epsilons=None) -> BandCondition:
+        """Bind the template to a concrete band condition."""
+        pairs = self.resolve_epsilons(epsilons)
+        return BandCondition(
+            {a: (left, right) for a, (left, right) in zip(self.attributes, pairs)}
+        )
+
+    def epsilon_key(self, epsilons=None) -> tuple:
+        """Return the hashable cache-key form of one epsilon binding."""
+        return self.resolve_epsilons(epsilons)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def snapshots(self) -> tuple[RelationSnapshot, RelationSnapshot]:
+        """Return a consistent (S, T) snapshot pair for one execution."""
+        return self.catalog.get(self.s_name), self.catalog.get(self.t_name)
+
+    def current_versions(self) -> tuple[int, int]:
+        """Return the catalog content versions the query would answer over.
+
+        The scheduler folds these into its single-flight key so a request
+        submitted *after* an acknowledged append never attaches to an
+        in-flight execution over the pre-append data (read-your-writes).
+        """
+        return self.catalog.get(self.s_name).version, self.catalog.get(self.t_name).version
+
+    def execute(self, epsilons=None, snapshots=None) -> QueryResult:
+        """Answer the query, taking the cheapest valid path.
+
+        In order of preference: the materialized-result cache, the delta
+        path (cached base result + delta joins of the appended rows), a
+        full join under a cached plan, and finally the cold path (optimize,
+        then join).  ``snapshots`` pins an explicit snapshot pair — the
+        scheduler uses it to serve a whole micro-batch from one consistent
+        catalog state.
+        """
+        start = time.perf_counter()
+        s_snap, t_snap = snapshots if snapshots is not None else self.snapshots()
+        ekey = self.epsilon_key(epsilons)
+        full_key = (s_snap.version, t_snap.version, ekey)
+        with self._lock:
+            hit = self._results.get(full_key)
+            if hit is not None:
+                self._results.move_to_end(full_key)
+        if hit is not None:
+            self.stats.record(PATH_RESULT_CACHE)
+            return replace(
+                hit, path=PATH_RESULT_CACHE, seconds=time.perf_counter() - start
+            )
+
+        condition = self.condition(ekey)
+        base, base_cached = self._base_result(s_snap, t_snap, condition, ekey)
+        if s_snap.delta is None and t_snap.delta is None:
+            result = replace(
+                base,
+                path=PATH_RESULT_CACHE if base_cached else base.path,
+                s_version=s_snap.version,
+                t_version=t_snap.version,
+                seconds=time.perf_counter() - start,
+            )
+        else:
+            jobs = [base.job] if base.job is not None else []
+            chunks = [base.pairs]
+            opt_seconds = 0.0 if base_cached else base.optimization_seconds
+            partitioning = self._plan(s_snap, t_snap, condition)
+            if s_snap.delta is not None:
+                delta = self.engine.execute(
+                    s_snap.delta, t_snap.full, condition, partitioning, materialize=True
+                )
+                chunks.append(
+                    _shift_pairs(delta.pairs, s_shift=len(s_snap.base), t_shift=0)
+                )
+                jobs.append(delta.job)
+            if t_snap.delta is not None:
+                delta = self.engine.execute(
+                    s_snap.base, t_snap.delta, condition, partitioning, materialize=True
+                )
+                chunks.append(
+                    _shift_pairs(delta.pairs, s_shift=0, t_shift=len(t_snap.base))
+                )
+                jobs.append(delta.job)
+            result = QueryResult(
+                pairs=np.concatenate(chunks),
+                path=PATH_DELTA if base_cached else base.path,
+                s_name=self.s_name,
+                t_name=self.t_name,
+                s_version=s_snap.version,
+                t_version=t_snap.version,
+                seconds=time.perf_counter() - start,
+                optimization_seconds=opt_seconds,
+                job=merge_job_stats(jobs) if jobs else None,
+            )
+        self.store_result(ekey, result)
+        self.stats.record(result.path)
+        return result
+
+    def __call__(self, epsilons=None) -> QueryResult:
+        return self.execute(epsilons)
+
+    def _plan(self, s_snap, t_snap, condition):
+        """Resolve the partitioning of the base pair through the plan cache."""
+        plan, _ = self.engine.plan_cache.get_or_build(
+            self.partitioner, s_snap.base, t_snap.base, condition, self.workers
+        )
+        return plan
+
+    def ensure_plan(self, epsilons=None) -> bool:
+        """Pre-build (or confirm) the plan for one epsilon binding.
+
+        Returns ``True`` when the plan was already cached.  The service
+        calls this after compaction so re-partitioning happens in the
+        background rather than inside the next query.
+        """
+        s_snap, t_snap = self.snapshots()
+        condition = self.condition(epsilons)
+        _, cached = self.engine.plan_cache.get_or_build(
+            self.partitioner, s_snap.base, t_snap.base, condition, self.workers
+        )
+        return cached
+
+    def _base_result(self, s_snap, t_snap, condition, ekey) -> tuple[QueryResult, bool]:
+        """Return the materialized base-pair join (cached per base lineage)."""
+        base_key = (s_snap.base_version, t_snap.base_version, ekey)
+        with self._lock:
+            cached = self._base_results.get(base_key)
+            if cached is not None:
+                self._base_results.move_to_end(base_key)
+        if cached is not None:
+            return cached, True
+        engine_result = self.engine.join(
+            s_snap.base,
+            t_snap.base,
+            condition,
+            workers=self.workers,
+            partitioner=self.partitioner,
+            materialize=True,
+        )
+        result = QueryResult(
+            pairs=engine_result.pairs,
+            path=PATH_PLAN_CACHE if engine_result.plan_from_cache else PATH_COLD,
+            s_name=self.s_name,
+            t_name=self.t_name,
+            s_version=s_snap.version,
+            t_version=t_snap.version,
+            seconds=engine_result.wall_seconds,
+            optimization_seconds=(
+                0.0 if engine_result.plan_from_cache else engine_result.optimization_seconds
+            ),
+            job=engine_result.job,
+        )
+        with self._lock:
+            self._base_results[base_key] = result
+            while len(self._base_results) > self.result_cache_size:
+                self._base_results.popitem(last=False)
+        return result, False
+
+    # ------------------------------------------------------------------ #
+    # Result-cache management
+    # ------------------------------------------------------------------ #
+    def store_result(self, ekey: tuple, result: QueryResult) -> None:
+        """Insert a materialized result (the scheduler also stores filtered
+        micro-batch members here so repeats hit the result cache)."""
+        key = (result.s_version, result.t_version, ekey)
+        with self._lock:
+            self._results[key] = result
+            self._results.move_to_end(key)
+            while len(self._results) > self.result_cache_size:
+                self._results.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every cached result (full and base)."""
+        with self._lock:
+            self._results.clear()
+            self._base_results.clear()
+
+    def cached_results(self) -> int:
+        """Return the number of materialized results currently cached."""
+        with self._lock:
+            return len(self._results)
+
+    def describe(self) -> dict:
+        """Return a JSON-friendly summary of the prepared query."""
+        return {
+            "s": self.s_name,
+            "t": self.t_name,
+            "attributes": list(self.attributes),
+            "workers": self.workers,
+            "partitioner": self.partitioner.name,
+            "default_epsilons": (
+                None
+                if self.default_epsilons is None
+                else [list(pair) for pair in self.default_epsilons]
+            ),
+            "cached_results": self.cached_results(),
+            "stats": self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.s_name!r} ⋈ {self.t_name!r} on "
+            f"{list(self.attributes)}, workers={self.workers})"
+        )
+
+
+def _shift_pairs(pairs: np.ndarray, s_shift: int, t_shift: int) -> np.ndarray:
+    """Lift a delta join's local pair indices into full-relation coordinates.
+
+    Also deduplicates: a partitioning's fallback routing of values it never
+    observed at optimization time (e.g. the grid's unseen-cell hashing) may
+    place one tuple copy twice in the same unit, which would produce a pair
+    twice.
+    """
+    if pairs.shape[0] == 0:
+        return pairs
+    shifted = pairs.copy()
+    shifted[:, 0] += s_shift
+    shifted[:, 1] += t_shift
+    return np.unique(shifted, axis=0)
+
+
+# Re-exported for callers composing their own schedulers.
+def epsilon_union(ekeys: "Sequence[tuple]") -> tuple:
+    """Return the per-attribute widest epsilon pair across several bindings.
+
+    Used by the scheduler's micro-batching: one dispatch with the union
+    band covers every member, whose exact answers are then recovered by
+    filtering (a pair satisfies a narrower band iff its values do — checked
+    directly, so filtering is exact regardless of the widening).
+    """
+    if not ekeys:
+        raise ServiceError("epsilon_union needs at least one epsilon binding")
+    widest = [list(pair) for pair in ekeys[0]]
+    for ekey in ekeys[1:]:
+        if len(ekey) != len(widest):
+            raise ServiceError("epsilon bindings of one batch must align")
+        for i, (left, right) in enumerate(ekey):
+            widest[i][0] = max(widest[i][0], left)
+            widest[i][1] = max(widest[i][1], right)
+    return tuple((left, right) for left, right in widest)

@@ -1,0 +1,343 @@
+"""Concurrent query scheduler: single-flight, micro-batching, admission control.
+
+The scheduler is the serving layer's control plane.  Callers submit
+``(prepared query, epsilons)`` requests and receive futures; a small pool of
+worker threads drains the queue.  Three mechanisms keep heavy traffic
+efficient:
+
+**Single-flight deduplication** — a request identical to one already queued
+or executing (same prepared-query key, same epsilons) does not enqueue a
+second execution; it attaches to the in-flight future and both callers get
+the same result.  Under a thundering herd of popular queries only one engine
+dispatch runs.
+
+**Micro-batching** — when a worker picks up a request it also drains queued
+requests for the *same prepared query* with different epsilons (up to
+``max_batch``).  The batch runs as one engine dispatch with the per-attribute
+union of the epsilon bands; each member's exact answer is recovered by
+filtering the wide pair set against its own band condition (exact, because
+the filter re-checks the member's condition on the actual values — a pair
+satisfies a narrower band iff its values do).
+
+**Admission control** — at most ``max_pending`` requests may be queued or
+executing; beyond that :meth:`QueryScheduler.submit` raises
+:class:`~repro.exceptions.ServiceOverloadError` instead of letting queues
+grow without bound.
+
+Every request is timed (queue wait, execution, total) and counted per
+execution path; :meth:`SchedulerMetrics.snapshot` reports the counters plus
+latency percentiles over a sliding window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import DEFAULT_MAX_BATCH, DEFAULT_MAX_PENDING, DEFAULT_SCHEDULER_WORKERS
+from repro.exceptions import ServiceError, ServiceOverloadError
+from repro.service.prepared import (
+    PATH_MICRO_BATCH,
+    PreparedQuery,
+    QueryResult,
+    epsilon_union,
+)
+
+__all__ = ["QueryScheduler", "SchedulerMetrics"]
+
+
+def _gather_rows(relation, attributes, rows) -> np.ndarray:
+    """Extract the join-attribute values of selected rows without
+    materializing the full (n, d) join matrix of the relation."""
+    return np.column_stack(
+        [np.asarray(relation.column(a), dtype=float)[rows] for a in attributes]
+    )
+
+
+class SchedulerMetrics:
+    """Thread-safe counters and latency window of one scheduler."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.deduplicated = 0
+        self.batched = 0
+        self.rejected = 0
+        self.paths: dict[str, int] = {}
+        self._latencies: deque = deque(maxlen=window)  # (queue_s, exec_s, total_s)
+
+    def record(self, path: str, queue_seconds: float, exec_seconds: float) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self.completed += 1
+            self.paths[path] = self.paths.get(path, 0) + 1
+            self._latencies.append((queue_seconds, exec_seconds, queue_seconds + exec_seconds))
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    @staticmethod
+    def _percentile(values: list, q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return float(ordered[index])
+
+    def latency_percentiles(self) -> dict:
+        """Return p50/p95/p99 of total latency plus mean queue wait (seconds)."""
+        with self._lock:
+            totals = [total for _, _, total in self._latencies]
+            queues = [queue for queue, _, _ in self._latencies]
+        return {
+            "p50": self._percentile(totals, 50),
+            "p95": self._percentile(totals, 95),
+            "p99": self._percentile(totals, 99),
+            "mean_queue_seconds": sum(queues) / len(queues) if queues else 0.0,
+            "samples": len(totals),
+        }
+
+    def snapshot(self) -> dict:
+        """Return a JSON-friendly summary of every counter."""
+        with self._lock:
+            info = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "deduplicated": self.deduplicated,
+                "batched": self.batched,
+                "rejected": self.rejected,
+                "paths": dict(self.paths),
+            }
+        info["latency"] = self.latency_percentiles()
+        return info
+
+
+@dataclass
+class _Request:
+    """One scheduled execution (shared by every deduplicated submitter)."""
+
+    prepared: PreparedQuery
+    ekey: tuple
+    key: tuple
+    future: Future
+    submitted_at: float
+    started_at: float = 0.0
+
+
+class QueryScheduler:
+    """Schedules prepared-query executions onto a worker-thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of scheduler threads (each drives one engine dispatch at a
+        time; the engine's own backend parallelizes within a dispatch).
+    max_pending:
+        Admission-control limit on requests queued or executing.
+    max_batch:
+        Maximum number of compatible requests served by one dispatch.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_SCHEDULER_WORKERS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError("max_workers must be at least 1")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be at least 1")
+        if max_batch < 1:
+            raise ServiceError("max_batch must be at least 1")
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.metrics = SchedulerMetrics()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._queue: deque[_Request] = deque()
+        self._inflight: dict[tuple, _Request] = {}
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"bandjoin-sched-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit(self, prepared: PreparedQuery, epsilons=None) -> Future:
+        """Enqueue one query; returns a future resolving to a QueryResult.
+
+        Identical in-flight requests share one future (single-flight); a
+        full scheduler raises :class:`ServiceOverloadError` immediately.
+        The catalog versions at submit time are part of the request
+        identity, so a query following an acknowledged append never attaches
+        to an execution over the pre-append data.
+        """
+        ekey = prepared.epsilon_key(epsilons)
+        key = (prepared.key, ekey, prepared.current_versions())
+        with self._work_ready:
+            if self._shutdown:
+                raise ServiceError("scheduler is shut down")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.metrics.deduplicated += 1
+                return existing.future
+            if len(self._inflight) >= self.max_pending:
+                self.metrics.rejected += 1
+                raise ServiceOverloadError(
+                    f"scheduler is saturated ({self.max_pending} pending queries); "
+                    "retry once in-flight work drains"
+                )
+            request = _Request(
+                prepared=prepared,
+                ekey=ekey,
+                key=key,
+                future=Future(),
+                submitted_at=time.perf_counter(),
+            )
+            self._inflight[key] = request
+            self._queue.append(request)
+            self.metrics.submitted += 1
+            self._work_ready.notify()
+            return request.future
+
+    def query(self, prepared: PreparedQuery, epsilons=None, timeout=None) -> QueryResult:
+        """Synchronous submit-and-wait."""
+        return self.submit(prepared, epsilons).result(timeout)
+
+    @property
+    def pending(self) -> int:
+        """Return the number of requests currently queued or executing."""
+        with self._lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._queue and not self._shutdown:
+                    self._work_ready.wait()
+                if not self._queue:  # shutdown with a drained queue
+                    return
+                head = self._queue.popleft()
+                batch = [head]
+                if self.max_batch > 1 and self._queue:
+                    remaining: deque[_Request] = deque()
+                    for request in self._queue:
+                        if (
+                            len(batch) < self.max_batch
+                            and request.prepared.key == head.prepared.key
+                        ):
+                            batch.append(request)
+                        else:
+                            remaining.append(request)
+                    self._queue = remaining
+                now = time.perf_counter()
+                for request in batch:
+                    request.started_at = now
+            try:
+                self._execute_batch(batch)
+            finally:
+                with self._work_ready:
+                    for request in batch:
+                        self._inflight.pop(request.key, None)
+
+    def _execute_batch(self, batch: list[_Request]) -> None:
+        prepared = batch[0].prepared
+        try:
+            if len(batch) == 1:
+                results = [prepared.execute(batch[0].ekey)]
+            else:
+                results = self._dispatch_batch(prepared, batch)
+        except Exception as exc:  # noqa: BLE001 - failures propagate via futures
+            for request in batch:
+                self.metrics.record_failure()
+                request.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        for request, result in zip(batch, results):
+            self.metrics.record(
+                result.path,
+                queue_seconds=request.started_at - request.submitted_at,
+                exec_seconds=done - request.started_at,
+            )
+            request.future.set_result(result)
+        if len(batch) > 1:
+            self.metrics.batched += len(batch) - 1
+
+    def _dispatch_batch(
+        self, prepared: PreparedQuery, batch: list[_Request]
+    ) -> list[QueryResult]:
+        """Serve a micro-batch from one wide engine dispatch.
+
+        The snapshot pair is pinned once so every member answers from the
+        same catalog state even if appends land mid-batch.
+        """
+        snapshots = prepared.snapshots()
+        widest = epsilon_union([request.ekey for request in batch])
+        wide = prepared.execute(widest, snapshots=snapshots)
+        s_values = t_values = None
+        if wide.pairs.shape[0]:
+            s_values = _gather_rows(snapshots[0].full, prepared.attributes, wide.pairs[:, 0])
+            t_values = _gather_rows(snapshots[1].full, prepared.attributes, wide.pairs[:, 1])
+        results: list[QueryResult] = []
+        for request in batch:
+            if request.ekey == widest:
+                results.append(wide)
+                continue
+            pairs = wide.pairs
+            if pairs.shape[0]:
+                condition = prepared.condition(request.ekey)
+                pairs = pairs[condition.matches(s_values, t_values)]
+            narrowed = replace(wide, pairs=pairs, path=PATH_MICRO_BATCH)
+            prepared.store_result(request.ekey, narrowed)
+            results.append(narrowed)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; fail queued requests and join the workers."""
+        with self._work_ready:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            abandoned = list(self._queue)
+            self._queue.clear()
+            for request in abandoned:
+                self._inflight.pop(request.key, None)
+                request.future.set_exception(ServiceError("scheduler shut down"))
+            self._work_ready.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryScheduler(workers={len(self._threads)}, "
+            f"max_pending={self.max_pending}, max_batch={self.max_batch})"
+        )

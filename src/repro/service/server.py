@@ -1,0 +1,138 @@
+"""Line-oriented request/response front end for :class:`BandJoinService`.
+
+One JSON object per line in, one JSON object per line out — a protocol thin
+enough to drive from a shell pipe, ``nc``, or any language with a socket and
+a JSON parser.  Two transports share the same handler:
+
+* **stdio** (``repro-bandjoin serve``) — read requests from stdin, write
+  responses to stdout; ends on EOF or ``{"op": "quit"}``.
+* **TCP** (``repro-bandjoin serve --port 7077``) — a threading socket
+  server; every client connection speaks the same line protocol, and all
+  clients share one service (so they share caches and the scheduler).
+
+Operations::
+
+    {"op": "register", "name": "S", "columns": {"A1": [...]}}
+    {"op": "append",   "name": "S", "columns": {"A1": [...]}}
+    {"op": "prepare",  "query": "q", "s": "S", "t": "T",
+     "attributes": ["A1"], "epsilons": [0.01]}
+    {"op": "query",    "query": "q", "epsilons": [0.02], "sample": 5}
+    {"op": "catalog"} | {"op": "stats"} | {"op": "ping"} | {"op": "quit"}
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
+the connection survives malformed requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.service import BandJoinService
+
+__all__ = ["handle_request", "serve_lines", "LineProtocolServer"]
+
+
+def _require(request: dict, field: str):
+    try:
+        return request[field]
+    except KeyError:
+        raise ServiceError(f"request is missing the {field!r} field") from None
+
+
+def handle_request(service: BandJoinService, request: dict) -> dict:
+    """Execute one decoded request against the service and return the response."""
+    op = _require(request, "op")
+    if op == "ping":
+        return {"ok": True, "op": "pong"}
+    if op == "register":
+        snapshot = service.register(
+            _require(request, "name"),
+            _require(request, "columns"),
+            replace=bool(request.get("replace", False)),
+        )
+        return {"ok": True, "relation": snapshot.describe()}
+    if op == "append":
+        snapshot = service.append(_require(request, "name"), _require(request, "columns"))
+        return {"ok": True, "relation": snapshot.describe()}
+    if op == "prepare":
+        prepared = service.prepare(
+            _require(request, "query"),
+            _require(request, "s"),
+            _require(request, "t"),
+            attributes=_require(request, "attributes"),
+            epsilons=request.get("epsilons"),
+            workers=request.get("workers"),
+            replace=bool(request.get("replace", False)),
+        )
+        return {"ok": True, "prepared": prepared.describe()}
+    if op == "query":
+        # Epsilon lists (including [left, right] pairs) pass through as-is;
+        # PreparedQuery normalization accepts sequences directly.
+        result = service.query(_require(request, "query"), request.get("epsilons"))
+        return {"ok": True, **result.describe(sample=int(request.get("sample", 0)))}
+    if op == "catalog":
+        return {"ok": True, "catalog": service.catalog.describe()}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    raise ServiceError(f"unknown operation {op!r}")
+
+
+def _handle_line(service: BandJoinService, line: str) -> tuple[dict | None, bool]:
+    """Return ``(response, keep_going)`` for one protocol line."""
+    line = line.strip()
+    if not line:
+        return None, True
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"invalid JSON: {exc}"}, True
+    if not isinstance(request, dict):
+        return {"ok": False, "error": "request must be a JSON object"}, True
+    if request.get("op") == "quit":
+        return {"ok": True, "op": "quit"}, False
+    try:
+        return handle_request(service, request), True
+    except ReproError as exc:
+        return {"ok": False, "error": str(exc)}, True
+
+
+def serve_lines(service: BandJoinService, lines, out) -> int:
+    """Serve the line protocol over any line iterable / writable pair.
+
+    Returns the number of requests answered.  Used both by the stdio mode
+    of ``repro-bandjoin serve`` and by the tests (with StringIO streams).
+    """
+    answered = 0
+    for line in lines:
+        response, keep_going = _handle_line(service, line)
+        if response is not None:
+            out.write(json.dumps(response) + "\n")
+            out.flush()
+            answered += 1
+        if not keep_going:
+            break
+    return answered
+
+
+class LineProtocolServer(socketserver.ThreadingTCPServer):
+    """TCP transport of the line protocol; all clients share one service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: BandJoinService) -> None:
+        self.service = service
+        super().__init__(address, _LineProtocolHandler)
+
+
+class _LineProtocolHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service = self.server.service
+        for raw in self.rfile:
+            response, keep_going = _handle_line(service, raw.decode("utf-8", "replace"))
+            if response is not None:
+                self.wfile.write((json.dumps(response) + "\n").encode())
+            if not keep_going:
+                break

@@ -1,0 +1,255 @@
+"""The synchronous band-join service facade.
+
+:class:`BandJoinService` wires the serving subsystem together: one
+:class:`~repro.service.catalog.RelationCatalog` (data plane), one
+:class:`~repro.engine.engine.ParallelJoinEngine` with a shared thread-safe
+plan cache (execution plane), a registry of named
+:class:`~repro.service.prepared.PreparedQuery` objects, and one
+:class:`~repro.service.scheduler.QueryScheduler` (control plane) that all
+queries flow through — so even single-caller usage benefits from
+single-flight deduplication, and concurrent callers share dispatches.
+
+Appends that push a relation past the staleness threshold trigger
+compaction (merging the delta into a new base) plus plan re-optimization
+for every prepared query over that relation; with the default
+``compaction="background"`` both happen on a maintenance thread while
+queries keep answering through the delta path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import ServiceConfig
+from repro.engine.backends import get_backend
+from repro.engine.engine import ParallelJoinEngine
+from repro.engine.plan_cache import PlanCache
+from repro.exceptions import ServiceError
+from repro.service.catalog import RelationCatalog, RelationSnapshot
+from repro.service.prepared import PreparedQuery, QueryResult
+from repro.service.scheduler import QueryScheduler
+
+__all__ = ["BandJoinService"]
+
+
+class BandJoinService:
+    """A long-running, concurrent band-join serving facade.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.config.ServiceConfig`; defaults apply when omitted.
+    partitioner:
+        Optimizer shared by prepared queries that do not bring their own
+        (RecPart by default, chosen lazily per query).
+
+    Examples
+    --------
+    >>> service = BandJoinService()
+    >>> service.register("S", {"A1": s_values})
+    >>> service.register("T", {"A1": t_values})
+    >>> service.prepare("close_pairs", "S", "T", attributes=["A1"], epsilons=0.01)
+    >>> service.query("close_pairs").n_pairs          # cold: optimize + join
+    >>> service.query("close_pairs").path             # 'result_cache'
+    >>> service.append("S", {"A1": new_values})
+    >>> service.query("close_pairs").path             # 'delta'
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        partitioner=None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        backend = "serial" if self.config.backend == "simulated" else self.config.backend
+        self.engine = ParallelJoinEngine(
+            backend=get_backend(backend),
+            plan_cache=PlanCache(max_entries=self.config.plan_cache_size),
+        )
+        self.catalog = RelationCatalog(
+            staleness_threshold=self.config.staleness_threshold,
+            on_stale=self._on_stale if self.config.compaction != "off" else None,
+        )
+        self.scheduler = QueryScheduler(
+            max_workers=self.config.scheduler_workers,
+            max_pending=self.config.max_pending,
+            max_batch=self.config.max_batch,
+        )
+        self.partitioner = partitioner
+        self._prepared: dict[str, PreparedQuery] = {}
+        self._prepared_lock = threading.Lock()
+        self._maintenance_lock = threading.Lock()
+        self._maintenance: list[threading.Thread] = []
+        self._compacting: set[str] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, data, replace: bool = False) -> RelationSnapshot:
+        """Register a relation (a Relation instance or a column mapping)."""
+        self._check_open()
+        return self.catalog.register(name, data, replace=replace)
+
+    def append(self, name: str, rows) -> RelationSnapshot:
+        """Append rows to a registered relation's delta."""
+        self._check_open()
+        return self.catalog.append(name, rows)
+
+    # ------------------------------------------------------------------ #
+    # Query plane
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        query_name: str,
+        s: str,
+        t: str,
+        attributes,
+        epsilons=None,
+        workers: int | None = None,
+        partitioner=None,
+        replace: bool = False,
+    ) -> PreparedQuery:
+        """Create and register a prepared query under ``query_name``."""
+        self._check_open()
+        prepared = PreparedQuery(
+            catalog=self.catalog,
+            engine=self.engine,
+            s_name=s,
+            t_name=t,
+            attributes=attributes,
+            default_epsilons=epsilons,
+            workers=workers if workers is not None else self.config.workers,
+            partitioner=partitioner if partitioner is not None else self.partitioner,
+            result_cache_size=self.config.result_cache_size,
+        )
+        with self._prepared_lock:
+            if query_name in self._prepared and not replace:
+                raise ServiceError(
+                    f"prepared query {query_name!r} already exists; "
+                    "pass replace=True to overwrite"
+                )
+            self._prepared[query_name] = prepared
+        return prepared
+
+    def prepared(self, query_name: str) -> PreparedQuery:
+        """Return the prepared query registered under ``query_name``."""
+        with self._prepared_lock:
+            try:
+                return self._prepared[query_name]
+            except KeyError:
+                raise ServiceError(
+                    f"unknown prepared query {query_name!r}; "
+                    f"registered: {sorted(self._prepared)}"
+                ) from None
+
+    def query(self, query_name: str, epsilons=None, timeout=None) -> QueryResult:
+        """Answer one prepared query synchronously (through the scheduler)."""
+        self._check_open()
+        return self.scheduler.query(self.prepared(query_name), epsilons, timeout=timeout)
+
+    def submit(self, query_name: str, epsilons=None):
+        """Enqueue one prepared query; returns a future (asynchronous callers)."""
+        self._check_open()
+        return self.scheduler.submit(self.prepared(query_name), epsilons)
+
+    # ------------------------------------------------------------------ #
+    # Staleness maintenance
+    # ------------------------------------------------------------------ #
+    def _on_stale(self, name: str) -> None:
+        if self.config.compaction == "sync":
+            self._compact_and_replan(name)
+            return
+        # One compaction per relation at a time: appends keep reporting the
+        # relation stale until the merge lands, and each re-optimization is
+        # expensive — a burst of appends must not fan out into a thread storm.
+        with self._maintenance_lock:
+            if self._closed or name in self._compacting:
+                return
+            self._compacting.add(name)
+            self._maintenance = [t for t in self._maintenance if t.is_alive()]
+            thread = threading.Thread(
+                target=self._background_compact,
+                args=(name,),
+                name=f"bandjoin-compact-{name}",
+                daemon=True,
+            )
+            self._maintenance.append(thread)
+        thread.start()
+
+    def _background_compact(self, name: str) -> None:
+        try:
+            self._compact_and_replan(name)
+        finally:
+            with self._maintenance_lock:
+                self._compacting.discard(name)
+        # Appends that landed while we were compacting were skipped by the
+        # in-progress guard; pick them up if they crossed the threshold again.
+        if not self._closed and name in self.catalog.stale_names():
+            self._on_stale(name)
+
+    def _compact_and_replan(self, name: str) -> None:
+        """Merge a stale relation's delta and re-optimize affected plans."""
+        self.catalog.compact(name)
+        with self._prepared_lock:
+            affected = [
+                prepared
+                for prepared in self._prepared.values()
+                if name in (prepared.s_name, prepared.t_name)
+                and prepared.default_epsilons is not None
+            ]
+        for prepared in affected:
+            prepared.ensure_plan()
+
+    def drain_maintenance(self) -> None:
+        """Block until every background compaction has finished (tests/benchmarks)."""
+        while True:
+            with self._maintenance_lock:
+                if not self._maintenance:
+                    return
+                thread = self._maintenance.pop()
+            thread.join()
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Return a JSON-friendly snapshot of every layer of the service."""
+        with self._prepared_lock:
+            prepared = {name: p.describe() for name, p in self._prepared.items()}
+        return {
+            "catalog": self.catalog.describe(),
+            "prepared": prepared,
+            "scheduler": self.scheduler.metrics.snapshot(),
+            "plan_cache": {
+                "entries": len(self.engine.plan_cache),
+                **self.engine.plan_cache.stats.as_dict(),
+            },
+            "backend": self.engine.backend.name,
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def close(self) -> None:
+        """Shut the scheduler down and finish pending maintenance."""
+        with self._maintenance_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.scheduler.close()
+        self.drain_maintenance()
+
+    def __enter__(self) -> "BandJoinService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"BandJoinService(backend={self.engine.backend.name!r}, "
+            f"relations={self.catalog.names()}, "
+            f"prepared={sorted(self._prepared)})"
+        )

@@ -255,6 +255,41 @@ class TestPlanCache:
         with pytest.raises(ValueError):
             PlanCache(max_entries=0)
 
+    def test_concurrent_access_is_safe(self):
+        """Regression: the LRU dict is shared by scheduler threads.
+
+        Without the internal lock, concurrent get/put on an OrderedDict
+        corrupts its linked list (move_to_end during popitem) and raises.
+        """
+        import threading
+
+        cache = PlanCache(max_entries=4)
+        keys = [(f"k{i}",) for i in range(12)]
+        errors: list[Exception] = []
+
+        def hammer(worker_id: int) -> None:
+            try:
+                for i in range(400):
+                    key = keys[(worker_id * 7 + i) % len(keys)]
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+                    if i % 50 == 0:
+                        len(cache)
+                    if i % 97 == 0:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 4
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses == 8 * 400
+
 
 class TestExecutorEngineIntegration:
     @pytest.mark.parametrize("backend", ["threads", "processes"])

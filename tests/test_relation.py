@@ -90,6 +90,56 @@ class TestProjections:
         with pytest.raises(SchemaError):
             relation.concat(other)
 
+    def test_concat_preserves_dtype(self):
+        a = Relation("A", {"x": np.array([1, 2], dtype=np.int32)})
+        b = Relation("B", {"x": np.array([3], dtype=np.int32)})
+        assert a.concat(b)["x"].dtype == np.int32
+
+    def test_from_rows(self):
+        matrix = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        built = Relation.from_rows("R", matrix, ["a", "b"])
+        assert built.column_names == ("a", "b")
+        np.testing.assert_array_equal(built["a"], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(built["b"], [10.0, 20.0, 30.0])
+        assert built["a"].dtype == matrix.dtype
+
+    def test_from_rows_validates_shape(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("R", np.zeros(3), ["a"])
+        with pytest.raises(SchemaError):
+            Relation.from_rows("R", np.zeros((2, 3)), ["a", "b"])
+
+
+class TestFingerprint:
+    def test_memoized_and_stable(self, relation):
+        first = relation.fingerprint(["a", "b"])
+        assert relation.fingerprint(["a", "b"]) == first
+        assert relation.fingerprint(("a", "b")) == first
+        # The cache holds the computed value (one entry per attribute tuple).
+        assert relation._fingerprints[("a", "b")] == first
+        assert relation.fingerprint(["b", "a"]) != first  # order matters
+
+    def test_equal_content_equal_fingerprint(self, relation):
+        clone = Relation("other-name", relation.to_dict())
+        assert clone.fingerprint(["a"]) == relation.fingerprint(["a"])
+
+    def test_content_change_changes_fingerprint(self, relation):
+        columns = relation.to_dict()
+        columns["a"] = columns["a"].copy()
+        columns["a"][0] += 1.0
+        changed = Relation("R", columns)
+        assert changed.fingerprint(["a"]) != relation.fingerprint(["a"])
+
+    def test_standalone_function_matches_and_accepts_mappings(self, relation):
+        from repro.engine.plan_cache import relation_fingerprint
+
+        memoized = relation_fingerprint(relation, ("a", "b"))
+        assert memoized == relation.fingerprint(("a", "b"))
+        ad_hoc = relation_fingerprint(
+            {"a": relation["a"], "b": relation["b"]}, ("a", "b")
+        )
+        assert ad_hoc == memoized
+
 
 class TestStatistics:
     def test_bounds(self, relation):
