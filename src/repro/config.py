@@ -59,6 +59,24 @@ ENGINE_BACKENDS: tuple[str, ...] = ("simulated", "serial", "threads", "processes
 #: experiment bit-for-bit reproducible).
 DEFAULT_ENGINE_BACKEND: str = "simulated"
 
+#: Local-join kernel names accepted wherever an algorithm choice is taken
+#: (must match the registry in :mod:`repro.local_join`).
+LOCAL_ALGORITHM_NAMES: tuple[str, ...] = (
+    "index-nested-loop",
+    "sort-sweep",
+    "iejoin-local",
+    "nested-loop",
+    "auto",
+)
+
+#: Default local-join kernel (the paper's choice).
+DEFAULT_LOCAL_ALGORITHM: str = "index-nested-loop"
+
+#: Default machine-wide byte budget for the local-join kernels' transient
+#: candidate buffers.  Pool-based backends divide it by the pool size so
+#: concurrently running kernels do not over-allocate in aggregate.
+DEFAULT_KERNEL_MEMORY_BUDGET: int = 256 * 1024 * 1024
+
 #: Default maximum number of cached partitioning plans.
 DEFAULT_PLAN_CACHE_SIZE: int = 32
 
@@ -125,11 +143,19 @@ class EngineConfig:
         available to the process.
     plan_cache_size:
         Maximum number of cached partitioning plans.
+    local_algorithm:
+        Local-join kernel run inside every worker task (one of
+        ``LOCAL_ALGORITHM_NAMES``).
+    kernel_memory_budget:
+        Machine-wide byte budget of the kernels' transient candidate
+        buffers; backends split it across concurrently running tasks.
     """
 
     backend: str = DEFAULT_ENGINE_BACKEND
     max_parallelism: int | None = None
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    local_algorithm: str = DEFAULT_LOCAL_ALGORITHM
+    kernel_memory_budget: int = DEFAULT_KERNEL_MEMORY_BUDGET
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -140,6 +166,13 @@ class EngineConfig:
             raise ValueError("max_parallelism must be positive")
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be at least 1")
+        if self.local_algorithm not in LOCAL_ALGORITHM_NAMES:
+            raise ValueError(
+                f"local_algorithm must be one of {LOCAL_ALGORITHM_NAMES}, "
+                f"got {self.local_algorithm!r}"
+            )
+        if self.kernel_memory_budget < 1:
+            raise ValueError("kernel_memory_budget must be positive")
 
     @property
     def is_simulated(self) -> bool:
@@ -171,6 +204,13 @@ class ServiceConfig:
     scheduler_workers / max_pending / max_batch:
         Query-scheduler thread count, admission-control limit on pending
         queries, and micro-batching fan-in per engine dispatch.
+    local_algorithm / kernel_memory_budget:
+        Local-join kernel of the underlying engine and the machine-wide
+        byte budget of its transient candidate buffers.
+    max_estimated_pairs:
+        Output-size admission control: a query whose cheap sampled output
+        estimate exceeds this is rejected at submit time instead of tying a
+        scheduler worker to a runaway dispatch.  ``None`` disables it.
     """
 
     backend: str = "threads"
@@ -182,6 +222,9 @@ class ServiceConfig:
     scheduler_workers: int = DEFAULT_SCHEDULER_WORKERS
     max_pending: int = DEFAULT_MAX_PENDING
     max_batch: int = DEFAULT_MAX_BATCH
+    local_algorithm: str = DEFAULT_LOCAL_ALGORITHM
+    kernel_memory_budget: int = DEFAULT_KERNEL_MEMORY_BUDGET
+    max_estimated_pairs: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -200,6 +243,15 @@ class ServiceConfig:
             raise ValueError("max_pending must be at least 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.local_algorithm not in LOCAL_ALGORITHM_NAMES:
+            raise ValueError(
+                f"local_algorithm must be one of {LOCAL_ALGORITHM_NAMES}, "
+                f"got {self.local_algorithm!r}"
+            )
+        if self.kernel_memory_budget < 1:
+            raise ValueError("kernel_memory_budget must be positive")
+        if self.max_estimated_pairs is not None and self.max_estimated_pairs < 1:
+            raise ValueError("max_estimated_pairs must be positive when set")
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,7 @@ from repro.engine.routing import (
 )
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
+from repro.local_join import get_local_algorithm
 from repro.local_join.base import LocalJoinAlgorithm, canonical_pair_order
 from repro.local_join.index_nested_loop import IndexNestedLoopJoin
 
@@ -129,7 +130,9 @@ class DistributedBandJoinExecutor:
     Parameters
     ----------
     algorithm:
-        Local join algorithm used by every worker.
+        Local join algorithm used by every worker — an instance or a
+        registry name (``"index-nested-loop"``, ``"sort-sweep"``,
+        ``"iejoin-local"``, ``"nested-loop"``, ``"auto"``).
     weights:
         Load weights used for the per-worker load measures.
     cost_model:
@@ -140,17 +143,26 @@ class DistributedBandJoinExecutor:
         sequential in-driver path), a real backend name (``"serial"``,
         ``"threads"``, ``"processes"``), an
         :class:`~repro.engine.backends.ExecutionBackend` instance, or an
-        :class:`~repro.config.EngineConfig`.
+        :class:`~repro.config.EngineConfig` (which also carries the kernel
+        memory budget and a default local algorithm).
     """
 
     def __init__(
         self,
-        algorithm: LocalJoinAlgorithm | None = None,
+        algorithm: LocalJoinAlgorithm | str | None = None,
         weights: LoadWeights | None = None,
         cost_model: RunningTimeModel | None = None,
         engine: str | EngineConfig | ExecutionBackend | None = None,
     ) -> None:
-        self.algorithm = algorithm if algorithm is not None else IndexNestedLoopJoin()
+        budget = None
+        if isinstance(engine, EngineConfig):
+            if algorithm is None:
+                algorithm = engine.local_algorithm
+            # Bind the budget on the algorithm itself so the simulated
+            # (in-driver) path honours it too; real backends re-bind their
+            # per-task share on dispatch.
+            budget = engine.kernel_memory_budget
+        self.algorithm = get_local_algorithm(algorithm, memory_budget=budget)
         self.weights = weights if weights is not None else LoadWeights()
         self.cost_model = cost_model
         self._backend = self._resolve_engine(engine)
@@ -165,7 +177,11 @@ class DistributedBandJoinExecutor:
         if isinstance(engine, EngineConfig):
             if engine.is_simulated:
                 return None
-            return get_backend(engine.backend, max_workers=engine.max_parallelism)
+            return get_backend(
+                engine.backend,
+                max_workers=engine.max_parallelism,
+                memory_budget=engine.kernel_memory_budget,
+            )
         return get_backend(engine)
 
     @property

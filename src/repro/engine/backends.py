@@ -24,6 +24,7 @@ Backends are stateless; pools live only for the duration of one
 from __future__ import annotations
 
 import abc
+import copy
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -98,10 +99,31 @@ def execute_task(
 
 
 class ExecutionBackend(abc.ABC):
-    """Interface of an engine execution backend."""
+    """Interface of an engine execution backend.
+
+    Backends carry an optional machine-wide ``memory_budget`` (bytes) for
+    the local-join kernels' transient candidate buffers.  Before dispatch it
+    is divided by the number of concurrently running tasks and bound onto
+    the algorithm (:meth:`~repro.local_join.base.LocalJoinAlgorithm.with_memory_budget`),
+    so a thread or process pool of size ``p`` allocates at most the single
+    budget in aggregate rather than ``p`` times it.
+    """
 
     #: Backend name used in configuration, reports and the CLI.
     name: str = "backend"
+
+    #: Machine-wide kernel candidate-buffer budget in bytes (``None`` leaves
+    #: each algorithm's own budget untouched).
+    memory_budget: int | None = None
+
+    def _budgeted(
+        self, algorithm: LocalJoinAlgorithm, concurrency: int
+    ) -> LocalJoinAlgorithm:
+        """Bind this backend's per-task budget share onto the algorithm."""
+        if self.memory_budget is None:
+            return algorithm
+        per_task = max(1, self.memory_budget // max(1, concurrency))
+        return algorithm.with_memory_budget(per_task)
 
     @abc.abstractmethod
     def run(
@@ -132,7 +154,13 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
+    def __init__(self, memory_budget: int | None = None) -> None:
+        if memory_budget is not None and memory_budget < 1:
+            raise ExecutionError("memory_budget must be positive")
+        self.memory_budget = memory_budget
+
     def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+        algorithm = self._budgeted(algorithm, concurrency=1)
         return [
             execute_task(task, s_matrix, t_matrix, condition, algorithm, materialize)
             for task in tasks
@@ -150,19 +178,25 @@ class ThreadPoolBackend(ExecutionBackend):
 
     name = "threads"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, memory_budget: int | None = None
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ExecutionError("max_workers must be positive")
+        if memory_budget is not None and memory_budget < 1:
+            raise ExecutionError("memory_budget must be positive")
         self.max_workers = max_workers
+        self.memory_budget = memory_budget
 
     def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
         if not tasks:
             return []
         pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
         if pool_size <= 1:
-            return SerialBackend().run(
+            return SerialBackend(memory_budget=self.memory_budget).run(
                 tasks, s_matrix, t_matrix, condition, algorithm, materialize
             )
+        algorithm = self._budgeted(algorithm, concurrency=pool_size)
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             futures = [
                 pool.submit(
@@ -224,15 +258,21 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "processes"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, memory_budget: int | None = None
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ExecutionError("max_workers must be positive")
+        if memory_budget is not None and memory_budget < 1:
+            raise ExecutionError("memory_budget must be positive")
         self.max_workers = max_workers
+        self.memory_budget = memory_budget
 
     def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
         if not tasks:
             return []
         pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
+        algorithm = self._budgeted(algorithm, concurrency=pool_size)
         with SharedTaskStore(s_matrix, t_matrix, tasks) as store:
             with ProcessPoolExecutor(
                 max_workers=pool_size,
@@ -259,10 +299,24 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(
-    backend: "str | ExecutionBackend", max_workers: int | None = None
+    backend: "str | ExecutionBackend",
+    max_workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> ExecutionBackend:
-    """Resolve a backend name (or pass an instance through)."""
+    """Resolve a backend name (or pass an instance through).
+
+    An explicit ``memory_budget`` is also honoured for instances: the
+    instance is shallow-copied with the budget bound (never mutated — it may
+    be shared), so ``ParallelJoinEngine(backend=SomeBackend(), memory_budget=...)``
+    caps aggregate kernel allocation exactly like the name-based form.
+    """
     if isinstance(backend, ExecutionBackend):
+        if memory_budget is not None and backend.memory_budget != memory_budget:
+            if memory_budget < 1:
+                raise ExecutionError("memory_budget must be positive")
+            clone = copy.copy(backend)
+            clone.memory_budget = memory_budget
+            return clone
         return backend
     try:
         factory = _BACKEND_FACTORIES[backend]
@@ -272,5 +326,5 @@ def get_backend(
             f"available: {', '.join(available_backends())}"
         ) from None
     if factory is SerialBackend:
-        return factory()
-    return factory(max_workers=max_workers)
+        return factory(memory_budget=memory_budget)
+    return factory(max_workers=max_workers, memory_budget=memory_budget)

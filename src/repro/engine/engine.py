@@ -43,8 +43,8 @@ from repro.engine.routing import (
 )
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
+from repro.local_join import get_local_algorithm
 from repro.local_join.base import LocalJoinAlgorithm
-from repro.local_join.index_nested_loop import IndexNestedLoopJoin
 
 
 @dataclass
@@ -142,26 +142,34 @@ class ParallelJoinEngine:
         Backend name (``"serial"``, ``"threads"``, ``"processes"``) or an
         :class:`~repro.engine.backends.ExecutionBackend` instance.
     algorithm:
-        Local join algorithm run inside every task (the paper's
-        index-nested-loop join by default).
+        Local join algorithm run inside every task: an instance or a
+        registry name (``"index-nested-loop"`` — the paper's default —,
+        ``"sort-sweep"``, ``"iejoin-local"``, ``"nested-loop"``, ``"auto"``).
     weights:
         Load weights of the per-worker load measures.
     plan_cache:
         Plan cache used by :meth:`join`; a fresh default cache when ``None``.
     max_parallelism:
         Pool-size cap passed to pool-based backends.
+    memory_budget:
+        Machine-wide byte budget of the local-join kernels' candidate
+        buffers; the backend divides it across concurrent tasks.  ``None``
+        keeps each kernel's own default.
     """
 
     def __init__(
         self,
         backend: str | ExecutionBackend = "threads",
-        algorithm: LocalJoinAlgorithm | None = None,
+        algorithm: LocalJoinAlgorithm | str | None = None,
         weights: LoadWeights | None = None,
         plan_cache: PlanCache | None = None,
         max_parallelism: int | None = None,
+        memory_budget: int | None = None,
     ) -> None:
-        self.backend = get_backend(backend, max_workers=max_parallelism)
-        self.algorithm = algorithm if algorithm is not None else IndexNestedLoopJoin()
+        self.backend = get_backend(
+            backend, max_workers=max_parallelism, memory_budget=memory_budget
+        )
+        self.algorithm = get_local_algorithm(algorithm)
         self.weights = weights if weights is not None else LoadWeights()
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
@@ -169,7 +177,7 @@ class ParallelJoinEngine:
     def from_config(
         cls,
         config: EngineConfig,
-        algorithm: LocalJoinAlgorithm | None = None,
+        algorithm: LocalJoinAlgorithm | str | None = None,
         weights: LoadWeights | None = None,
     ) -> "ParallelJoinEngine":
         """Build an engine from an :class:`~repro.config.EngineConfig`.
@@ -181,10 +189,11 @@ class ParallelJoinEngine:
         backend = "serial" if config.is_simulated else config.backend
         return cls(
             backend=backend,
-            algorithm=algorithm,
+            algorithm=algorithm if algorithm is not None else config.local_algorithm,
             weights=weights,
             plan_cache=PlanCache(max_entries=config.plan_cache_size),
             max_parallelism=config.max_parallelism,
+            memory_budget=config.kernel_memory_budget,
         )
 
     # ------------------------------------------------------------------ #

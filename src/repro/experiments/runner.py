@@ -249,13 +249,18 @@ def run_workload(
     verify: str = "none",
     seed: int = 0,
     engine: str | None = None,
+    local_algorithm: str | None = None,
 ) -> ExperimentResult:
     """Run every partitioner on one workload and collect the paper-style measures.
 
     ``engine`` selects the execution mode of the reduce phase:
     ``None``/``"simulated"`` keeps the sequential in-driver path, while
     ``"serial"``, ``"threads"`` or ``"processes"`` dispatch the local joins
-    to the corresponding :mod:`repro.engine` backend.
+    to the corresponding :mod:`repro.engine` backend.  ``local_algorithm``
+    picks the per-worker kernel by registry name (``"index-nested-loop"``,
+    ``"sort-sweep"``, ``"iejoin-local"``, ``"nested-loop"``, ``"auto"``);
+    the pair counts are kernel-independent, only the reduce-phase speed
+    changes.
     """
     weights = weights if weights is not None else LoadWeights()
     cost_model = cost_model if cost_model is not None else default_running_time_model()
@@ -264,7 +269,7 @@ def run_workload(
 
     s, t, condition = workload.build()
     executor = DistributedBandJoinExecutor(
-        weights=weights, cost_model=cost_model, engine=engine
+        algorithm=local_algorithm, weights=weights, cost_model=cost_model, engine=engine
     )
 
     results = []

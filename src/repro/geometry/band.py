@@ -120,6 +120,7 @@ class BandCondition:
                 raise BandConditionError(f"duplicate predicate on attribute {pred.attribute!r}")
             seen.add(pred.attribute)
         self._predicates: tuple[BandPredicate, ...] = tuple(predicates)
+        self._eps_arrays: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -166,6 +167,22 @@ class BandCondition:
     def epsilons(self) -> np.ndarray:
         """Return symmetric band widths as an array (max of left/right per dimension)."""
         return np.array([max(p.eps_left, p.eps_right) for p in self._predicates], dtype=float)
+
+    def eps_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the per-dimension ``(eps_left, eps_right)`` width vectors.
+
+        The arrays are built once per condition and cached (they are the
+        innermost constants of every local-join kernel, which would otherwise
+        rebuild Python predicate lists on each ``join()``/``count()`` call).
+        They are marked read-only because they are shared across callers.
+        """
+        if self._eps_arrays is None:
+            left = np.array([p.eps_left for p in self._predicates], dtype=float)
+            right = np.array([p.eps_right for p in self._predicates], dtype=float)
+            left.flags.writeable = False
+            right.flags.writeable = False
+            self._eps_arrays = (left, right)
+        return self._eps_arrays
 
     @property
     def is_symmetric(self) -> bool:
@@ -244,8 +261,7 @@ class BandCondition:
             raise BandConditionError(
                 f"expected {self.dimensionality} join-attribute columns, got shape {arr.shape}"
             )
-        left = np.array([p.eps_left for p in self._predicates], dtype=float)
-        right = np.array([p.eps_right for p in self._predicates], dtype=float)
+        left, right = self.eps_arrays()
         if around == "t":
             lower = arr - right
             upper = arr + left

@@ -5,22 +5,31 @@ worker computes the band-join on its local input.  The paper points out that
 the choice of local algorithm is orthogonal to the partitioning problem; it
 only shifts the relative weight of input versus output work (the
 ``beta2/beta3`` ratio).  This subpackage provides several interchangeable
-local algorithms:
+local algorithms, all built on the shared vectorized kernel layer
+(:mod:`repro.local_join.kernels`):
 
 * :class:`NestedLoopJoin` — reference implementation (blocked all-pairs).
 * :class:`IndexNestedLoopJoin` — the paper's default: range-index on the
   most selective dimension plus binary search.
-* :class:`SortSweepJoin` — sort-based sweep over the first dimension.
-* :class:`IEJoinLocal` — the in-memory IEJoin algorithm (sorted arrays,
-  permutation array and bit array) for the two inequalities of the first
-  band predicate, with post-filtering for the remaining dimensions.
+* :class:`SortSweepJoin` — sort-based sweep, expressed as the chunked
+  ``searchsorted`` interval kernel.
+* :class:`IEJoinLocal` — IEJoin's offset/bit-array structure for the two
+  inequalities of the first band predicate, collapsed (for band conditions)
+  into precomputed ``searchsorted`` rank intervals.
+* :class:`AutoJoin` — adaptive dispatch over the above, driven by sampled
+  band-selectivity estimates.
+
+Counting is always cheaper than joining here: every kernel answers
+``count()`` without materializing pairs (pure window arithmetic in one
+dimension, chunk-wise masked counting beyond).
 """
 
+from repro.local_join.auto import AutoJoin
 from repro.local_join.base import LocalJoinAlgorithm, join_pair_count
-from repro.local_join.nested_loop import NestedLoopJoin
-from repro.local_join.index_nested_loop import IndexNestedLoopJoin
-from repro.local_join.sort_band import SortSweepJoin
 from repro.local_join.iejoin_local import IEJoinLocal
+from repro.local_join.index_nested_loop import IndexNestedLoopJoin
+from repro.local_join.nested_loop import NestedLoopJoin
+from repro.local_join.sort_band import SortSweepJoin
 
 __all__ = [
     "LocalJoinAlgorithm",
@@ -28,9 +37,47 @@ __all__ = [
     "IndexNestedLoopJoin",
     "SortSweepJoin",
     "IEJoinLocal",
+    "AutoJoin",
     "join_pair_count",
     "default_local_join",
+    "LOCAL_ALGORITHMS",
+    "get_local_algorithm",
 ]
+
+#: Registry of constructible local algorithms, keyed by the names accepted
+#: by configuration and the CLI ``--local-algorithm`` flag.
+LOCAL_ALGORITHMS: dict[str, type[LocalJoinAlgorithm]] = {
+    NestedLoopJoin.name: NestedLoopJoin,
+    IndexNestedLoopJoin.name: IndexNestedLoopJoin,
+    SortSweepJoin.name: SortSweepJoin,
+    IEJoinLocal.name: IEJoinLocal,
+    AutoJoin.name: AutoJoin,
+}
+
+
+def get_local_algorithm(
+    algorithm: "str | LocalJoinAlgorithm | None",
+    memory_budget: int | None = None,
+) -> LocalJoinAlgorithm:
+    """Resolve an algorithm name (or pass an instance through).
+
+    ``None`` resolves to the library default; ``memory_budget`` (bytes), when
+    given, is bound onto the resolved algorithm's kernel.
+    """
+    if algorithm is None:
+        resolved = default_local_join()
+    elif isinstance(algorithm, LocalJoinAlgorithm):
+        resolved = algorithm
+    else:
+        try:
+            factory = LOCAL_ALGORITHMS[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown local algorithm {algorithm!r}; "
+                f"available: {', '.join(LOCAL_ALGORITHMS)}"
+            ) from None
+        resolved = factory()
+    return resolved.with_memory_budget(memory_budget)
 
 
 def default_local_join() -> LocalJoinAlgorithm:

@@ -13,6 +13,7 @@ of pairs for that would dominate the running time of the whole benchmark.
 from __future__ import annotations
 
 import abc
+import copy
 
 import numpy as np
 
@@ -24,6 +25,23 @@ class LocalJoinAlgorithm(abc.ABC):
 
     #: Human-readable algorithm name used in reports.
     name: str = "local-join"
+
+    def with_memory_budget(self, memory_budget: int | None) -> "LocalJoinAlgorithm":
+        """Return this algorithm bound to a kernel memory budget (bytes).
+
+        Execution backends use this to split one machine-wide budget across
+        concurrently running kernels.  Algorithms without a budgeted kernel
+        (no ``memory_budget`` attribute) return themselves unchanged, as does
+        a ``None`` or unchanged budget; otherwise a shallow copy is returned
+        so a shared algorithm instance is never mutated across tasks.
+        """
+        if memory_budget is None or not hasattr(self, "memory_budget"):
+            return self
+        if getattr(self, "memory_budget") == memory_budget:
+            return self
+        clone = copy.copy(self)
+        clone.memory_budget = memory_budget
+        return clone
 
     @abc.abstractmethod
     def join(

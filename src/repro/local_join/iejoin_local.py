@@ -1,8 +1,8 @@
-"""In-memory IEJoin for band conditions.
+"""In-memory IEJoin for band conditions (vectorized).
 
-IEJoin (Khayyat et al., VLDBJ 2017) is an in-memory algorithm for joins with
-two inequality predicates, built from sorted arrays, a permutation array
-between the two sort orders, offset arrays and a bit array.  A band predicate
+IEJoin (Khayyat et al., VLDBJ 2017) handles joins with two inequality
+predicates through sorted arrays, a permutation array between the two sort
+orders, offset arrays and a bit array.  A band predicate
 ``|s.A - t.A| <= eps`` decomposes into exactly two inequalities
 
 * ``s.A <= t.A + eps_left``  (s is not too far to the right of t), and
@@ -12,10 +12,18 @@ so IEJoin applies directly to the first band dimension; any further band
 dimensions are verified with a residual filter, exactly like the adaptation
 the paper mentions for local processing on each worker.
 
-The implementation keeps IEJoin's signature data structures: S sorted on the
-first inequality attribute, a permutation mapping to the order of the second
-inequality attribute, and a bit array over T in second-attribute order that
-is populated as a sweep advances over the first attribute.
+The historical implementation swept T in first-attribute order and, per
+T-tuple, populated a bit array over the second sort order and scanned its
+prefix — a per-tuple Python loop.  For *band* predicates both inequality
+attributes are the same column, which collapses the structure: the set of
+S-tuples inserted by the sweep (``s.A <= t.A + eps_left``, the offset array
+into L1) and the set selected by the bit-array prefix scan
+(``s.A >= t.A - eps_right``, the offset array into L2) are both value
+prefixes of the *same* sorted order, so their intersection is the contiguous
+rank interval ``[lo_k, hi_k)`` in X-sorted order.  Both offset arrays are
+exactly what ``np.searchsorted`` computes, and the per-T scan becomes the
+chunked interval kernel of :mod:`repro.local_join.kernels` — identical pair
+set, no interpreted inner loop, memory bounded by the kernel budget.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.band import BandCondition
+from repro.local_join import kernels
 from repro.local_join.base import LocalJoinAlgorithm, as_matrix, empty_pairs
 
 
@@ -33,14 +42,33 @@ class IEJoinLocal(LocalJoinAlgorithm):
     ----------
     primary_dimension:
         Band dimension whose two inequalities drive the IEJoin structure.
+    memory_budget:
+        Byte budget of the transient candidate buffers (see
+        :mod:`repro.local_join.kernels`).
     """
 
     name = "iejoin-local"
 
-    def __init__(self, primary_dimension: int = 0) -> None:
+    def __init__(
+        self,
+        primary_dimension: int = 0,
+        memory_budget: int = kernels.DEFAULT_MEMORY_BUDGET,
+    ) -> None:
         if primary_dimension < 0:
             raise ValueError("primary_dimension must be non-negative")
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
         self.primary_dimension = primary_dimension
+        self.memory_budget = memory_budget
+
+    def _check(self, condition: BandCondition) -> int:
+        dim = self.primary_dimension
+        if dim >= condition.dimensionality:
+            raise ValueError(
+                f"primary_dimension {dim} out of range for "
+                f"{condition.dimensionality}-dimensional join"
+            )
+        return dim
 
     def join(
         self,
@@ -48,8 +76,22 @@ class IEJoinLocal(LocalJoinAlgorithm):
         t_values: np.ndarray,
         condition: BandCondition,
     ) -> np.ndarray:
-        pairs, _ = self._iejoin(s_values, t_values, condition, materialize=True)
-        return pairs
+        dim = self._check(condition)
+        d = condition.dimensionality
+        s_arr = as_matrix(s_values, d)
+        t_arr = as_matrix(t_values, d)
+        if s_arr.shape[0] == 0 or t_arr.shape[0] == 0:
+            return empty_pairs()
+        # T probes the X-sorted S order: window [lo, hi) per t is the
+        # intersection of the two inequality prefixes described above.
+        return kernels.interval_join(
+            s_arr,
+            t_arr,
+            condition,
+            dim,
+            probe_is_s=False,
+            memory_budget=self.memory_budget,
+        )
 
     def count(
         self,
@@ -57,92 +99,17 @@ class IEJoinLocal(LocalJoinAlgorithm):
         t_values: np.ndarray,
         condition: BandCondition,
     ) -> int:
-        _, total = self._iejoin(s_values, t_values, condition, materialize=False)
-        return total
-
-    # ------------------------------------------------------------------ #
-    # Core algorithm
-    # ------------------------------------------------------------------ #
-    def _iejoin(self, s_values, t_values, condition, materialize: bool):
+        dim = self._check(condition)
         d = condition.dimensionality
-        dim = self.primary_dimension
-        if dim >= d:
-            raise ValueError(
-                f"primary_dimension {dim} out of range for {d}-dimensional join"
-            )
         s_arr = as_matrix(s_values, d)
         t_arr = as_matrix(t_values, d)
-        n_s, n_t = s_arr.shape[0], t_arr.shape[0]
-        if n_s == 0 or n_t == 0:
-            return empty_pairs(), 0
-
-        pred = condition.predicates[dim]
-        other_dims = [i for i in range(d) if i != dim]
-
-        # Derived inequality attributes.  Predicate 1: s.X <= x_t where
-        # x_t = t.A + eps_left.  Predicate 2: s.Y >= y_t where y_t = t.A - eps_right.
-        s_x = s_arr[:, dim]
-        t_x = t_arr[:, dim] + pred.eps_left
-        s_y = s_arr[:, dim]
-        t_y = t_arr[:, dim] - pred.eps_right
-
-        # L1: S sorted ascending on X (sweep order for predicate 1).
-        s_by_x = np.argsort(s_x, kind="stable")
-        # L2: S positions ranked by Y descending (bit-array order for predicate 2).
-        s_by_y_desc = np.argsort(-s_y, kind="stable")
-        # Permutation array: for each S tuple (original index) its rank in L2.
-        y_rank_of_s = np.empty(n_s, dtype=np.int64)
-        y_rank_of_s[s_by_y_desc] = np.arange(n_s)
-        s_y_desc_values = s_y[s_by_y_desc]
-
-        # T processed in ascending X order so the set {s : s.X <= t.X'} grows
-        # monotonically; offsets into L1 computed with searchsorted.
-        t_by_x = np.argsort(t_x, kind="stable")
-        s_x_sorted = s_x[s_by_x]
-        insert_limits = np.searchsorted(s_x_sorted, t_x[t_by_x], side="right")
-
-        # Offset array for predicate 2: number of leading L2 positions whose
-        # Y value still satisfies s.Y >= t.Y (L2 is sorted descending, so this
-        # is a searchsorted over the negated values).
-        scan_limits = np.searchsorted(-s_y_desc_values, -t_y[t_by_x], side="right")
-
-        bit_array = np.zeros(n_s, dtype=bool)
-        inserted = 0
-        chunks: list[np.ndarray] = []
-        total = 0
-
-        for k in range(n_t):
-            t_original = t_by_x[k]
-            limit = insert_limits[k]
-            while inserted < limit:
-                s_original = s_by_x[inserted]
-                bit_array[y_rank_of_s[s_original]] = True
-                inserted += 1
-            scan = scan_limits[k]
-            if scan == 0:
-                continue
-            hits = np.nonzero(bit_array[:scan])[0]
-            if hits.size == 0:
-                continue
-            s_candidates = s_by_y_desc[hits]
-            if other_dims:
-                keep = np.ones(s_candidates.size, dtype=bool)
-                for i in other_dims:
-                    other_pred = condition.predicates[i]
-                    diff = t_arr[t_original, i] - s_arr[s_candidates, i]
-                    keep &= (diff >= -other_pred.eps_left) & (diff <= other_pred.eps_right)
-                s_candidates = s_candidates[keep]
-                if s_candidates.size == 0:
-                    continue
-            if materialize:
-                t_column = np.full(s_candidates.size, t_original, dtype=np.int64)
-                chunks.append(np.column_stack([s_candidates.astype(np.int64), t_column]))
-            else:
-                total += int(s_candidates.size)
-
-        if materialize:
-            if not chunks:
-                return empty_pairs(), 0
-            pairs = np.concatenate(chunks)
-            return pairs, int(pairs.shape[0])
-        return empty_pairs(), total
+        # 1-D: the two offset arrays alone give the count (sum of rank-interval
+        # widths) — no bit array, no pair expansion, no O(output) allocation.
+        return kernels.interval_count(
+            s_arr,
+            t_arr,
+            condition,
+            dim,
+            probe_is_s=False,
+            memory_budget=self.memory_budget,
+        )

@@ -5,11 +5,12 @@ range-partition (sort) T on the most selective join dimension ``A1``, then
 for each ``s`` use binary search to find the T-range containing ``s`` and
 check the full band condition only against T-tuples in the adjacent ranges.
 
-The implementation below is the vectorised equivalent: T is sorted on the
-index dimension once, the candidate window of every S-tuple is found with two
-``searchsorted`` calls, and the remaining dimensions are verified with a
-vectorised filter over the candidate pairs.  S is processed in chunks so the
-candidate-pair buffer stays bounded.
+The implementation below is the vectorised equivalent, built on the shared
+chunked interval kernel (:mod:`repro.local_join.kernels`): T is sorted on
+the index dimension once, the candidate window of every S-tuple comes from
+one ``searchsorted`` pair, and S is processed in chunks sized by a memory
+budget so the candidate-pair buffer stays bounded.  The remaining dimensions
+are verified with a vectorised filter over each candidate chunk.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.band import BandCondition
+from repro.local_join import kernels
 from repro.local_join.base import LocalJoinAlgorithm, as_matrix, empty_pairs
 
 
@@ -31,6 +33,10 @@ class IndexNestedLoopJoin(LocalJoinAlgorithm):
         mirroring the paper's "A1 is the most selective dimension" choice.
     max_candidates_per_chunk:
         Upper bound on the number of candidate pairs buffered at once.
+    memory_budget:
+        Alternative byte-denominated bound; when set it overrides
+        ``max_candidates_per_chunk`` (this is what execution backends tune
+        when several kernels share a machine).
     """
 
     name = "index-nested-loop"
@@ -39,11 +45,22 @@ class IndexNestedLoopJoin(LocalJoinAlgorithm):
         self,
         index_dimension: int | None = None,
         max_candidates_per_chunk: int = 4_000_000,
+        memory_budget: int | None = None,
     ) -> None:
         if max_candidates_per_chunk < 1:
             raise ValueError("max_candidates_per_chunk must be positive")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
         self.index_dimension = index_dimension
         self.max_candidates_per_chunk = max_candidates_per_chunk
+        self.memory_budget = memory_budget
+
+    def _kernel_budget(self) -> int:
+        """Return the byte budget (the legacy candidate knob converts at
+        :data:`~repro.local_join.kernels.CANDIDATE_BYTES` per candidate)."""
+        if self.memory_budget is not None:
+            return self.memory_budget
+        return self.max_candidates_per_chunk * kernels.CANDIDATE_BYTES
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -101,75 +118,20 @@ class IndexNestedLoopJoin(LocalJoinAlgorithm):
             return empty_pairs() if materialize else 0
 
         dim = self.select_index_dimension(s_arr, t_arr, condition)
-        pred = condition.predicates[dim]
-
-        order = np.argsort(t_arr[:, dim], kind="stable")
-        t_sorted = t_arr[order]
-        t_keys = t_sorted[:, dim]
-
-        # Candidate window per s: t.A_dim in [s.A_dim - eps_left, s.A_dim + eps_right].
-        lows = np.searchsorted(t_keys, s_arr[:, dim] - pred.eps_left, side="left")
-        highs = np.searchsorted(t_keys, s_arr[:, dim] + pred.eps_right, side="right")
-        counts = highs - lows
-
-        other_dims = [i for i in range(d) if i != dim]
-        if not other_dims and not materialize:
-            return int(counts.sum())
-
-        pair_chunks: list[np.ndarray] = []
-        total = 0
-        n_s = s_arr.shape[0]
-        start = 0
-        while start < n_s:
-            stop = self._chunk_end(counts, start)
-            chunk_counts = counts[start:stop]
-            chunk_total = int(chunk_counts.sum())
-            if chunk_total == 0:
-                start = stop
-                continue
-            s_idx = np.repeat(np.arange(start, stop), chunk_counts)
-            offsets = np.repeat(np.cumsum(chunk_counts) - chunk_counts, chunk_counts)
-            within = np.arange(chunk_total) - offsets
-            t_pos = np.repeat(lows[start:stop], chunk_counts) + within
-
-            # Verify the remaining dimensions one at a time, compressing the
-            # candidate arrays after each dimension: for selective conditions
-            # this quickly shrinks the work instead of evaluating every
-            # dimension over the full candidate set.
-            for i in other_dims:
-                if s_idx.size == 0:
-                    break
-                other_pred = condition.predicates[i]
-                diff = t_sorted[t_pos, i] - s_arr[s_idx, i]
-                keep = (diff >= -other_pred.eps_left) & (diff <= other_pred.eps_right)
-                s_idx = s_idx[keep]
-                t_pos = t_pos[keep]
-
-            if materialize:
-                if s_idx.size:
-                    pair_chunks.append(
-                        np.column_stack([s_idx, order[t_pos]]).astype(np.int64)
-                    )
-            else:
-                total += int(s_idx.size)
-            start = stop
-
         if materialize:
-            if not pair_chunks:
-                return empty_pairs()
-            return np.concatenate(pair_chunks)
-        return total
-
-    def _chunk_end(self, counts: np.ndarray, start: int) -> int:
-        """Return the exclusive end index of the S-chunk starting at ``start``
-        whose total candidate count stays below the per-chunk budget."""
-        budget = self.max_candidates_per_chunk
-        running = 0
-        stop = start
-        n = counts.shape[0]
-        while stop < n:
-            running += int(counts[stop])
-            stop += 1
-            if running >= budget:
-                break
-        return max(stop, start + 1)
+            return kernels.interval_join(
+                s_arr,
+                t_arr,
+                condition,
+                dim,
+                probe_is_s=True,
+                memory_budget=self._kernel_budget(),
+            )
+        return kernels.interval_count(
+            s_arr,
+            t_arr,
+            condition,
+            dim,
+            probe_is_s=True,
+            memory_budget=self._kernel_budget(),
+        )

@@ -1,0 +1,377 @@
+"""Vectorized primitives shared by the local band-join kernels.
+
+Every fast local algorithm in this package reduces to the same three steps:
+
+1. **Windows** — sort one side on a chosen dimension and compute, with one
+   ``np.searchsorted`` pair, the contiguous ``[lo, hi)`` window of that side
+   that can still satisfy the band predicate of each probe tuple.
+2. **Chunked expansion** — consecutive probe rows are grouped so the summed
+   window sizes stay under a configurable *memory budget*; each chunk's
+   candidate pairs are expanded with ``np.repeat``/``np.arange`` (never the
+   full candidate set at once).
+3. **Residual filtering** — the remaining band dimensions are verified with
+   vectorized masks over the candidate chunk.
+
+Counting never materializes pairs: a one-dimensional condition is answered
+purely from the window arithmetic (``sum(hi - lo)``, no per-row allocation at
+all), and multi-dimensional counts accumulate ``mask.sum()`` chunk by chunk,
+so the transient allocation is bounded by the memory budget rather than by
+the output size.
+
+The functions here are deliberately orientation-agnostic: the *probe* side
+may be S (sort-sweep's view: for each s, a window of T) or T (IEJoin's view:
+for each t, a rank interval of S) — only the asymmetric epsilon widths swap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.geometry.band import BandCondition
+from repro.local_join.base import empty_pairs
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "CANDIDATE_BYTES",
+    "max_candidates",
+    "window_bounds",
+    "chunk_spans",
+    "iter_window_candidates",
+    "residual_mask",
+    "interval_join",
+    "interval_count",
+]
+
+#: Default candidate-buffer budget (bytes) of one kernel invocation.  Chosen
+#: so a single worker's transient expansion stays far below typical per-core
+#: memory while chunks stay large enough to amortize numpy call overhead.
+DEFAULT_MEMORY_BUDGET: int = 64 * 1024 * 1024
+
+#: Approximate bytes held per candidate pair during expansion + filtering
+#: (two int64 position arrays, one float64 diff, one bool mask, slack).
+CANDIDATE_BYTES: int = 32
+
+
+def max_candidates(memory_budget: int) -> int:
+    """Translate a byte budget into the per-chunk candidate-pair cap."""
+    if memory_budget < 1:
+        raise ValueError("memory_budget must be positive")
+    return max(1, int(memory_budget) // CANDIDATE_BYTES)
+
+
+def window_bounds(
+    sorted_keys: np.ndarray,
+    probe_keys: np.ndarray,
+    below: float,
+    above: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return per-probe ``[lo, hi)`` windows of ``sorted_keys`` in
+    ``[probe - below, probe + above]`` (one ``np.searchsorted`` pair total)."""
+    lows = np.searchsorted(sorted_keys, probe_keys - below, side="left")
+    highs = np.searchsorted(sorted_keys, probe_keys + above, side="right")
+    # Non-negative widths make hi >= lo already; guard against pathological
+    # float rounding when probe +- eps collapses.
+    return lows, np.maximum(highs, lows)
+
+
+def chunk_spans(counts: np.ndarray, candidate_cap: int) -> Iterator[tuple[int, int]]:
+    """Yield consecutive ``(start, stop)`` probe-row spans whose summed
+    window sizes stay within ``candidate_cap``.
+
+    Each span holds at least one row, so a single window larger than the cap
+    forms its own span (``iter_window_candidates`` slices those further).
+    The span boundaries are found with ``searchsorted`` over the running sum
+    — no per-row Python loop.
+    """
+    n = int(counts.shape[0])
+    if n == 0:
+        return
+    cumulative = np.cumsum(counts, dtype=np.int64)
+    start = 0
+    while start < n:
+        consumed = int(cumulative[start - 1]) if start else 0
+        stop = int(np.searchsorted(cumulative, consumed + candidate_cap, side="right"))
+        stop = min(max(stop, start + 1), n)
+        yield start, stop
+        start = stop
+
+
+def iter_window_candidates(
+    lows: np.ndarray, counts: np.ndarray, candidate_cap: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(probe_pos, window_pos)`` candidate chunks of at most
+    ``candidate_cap`` pairs each, expanded with ``repeat``/``arange``.
+
+    ``probe_pos`` indexes the probe rows, ``window_pos`` the sorted side.
+    Oversized single windows are emitted in slices so the cap holds for
+    *every* chunk, keeping peak transient memory bounded.
+    """
+    for start, stop in chunk_spans(counts, candidate_cap):
+        if stop == start + 1 and counts[start] > candidate_cap:
+            lo = int(lows[start])
+            hi = lo + int(counts[start])
+            for piece in range(lo, hi, candidate_cap):
+                window_pos = np.arange(piece, min(piece + candidate_cap, hi), dtype=np.int64)
+                probe_pos = np.full(window_pos.size, start, dtype=np.int64)
+                yield probe_pos, window_pos
+            continue
+        chunk_counts = counts[start:stop]
+        total = int(chunk_counts.sum())
+        if total == 0:
+            continue
+        probe_pos = np.repeat(np.arange(start, stop, dtype=np.int64), chunk_counts)
+        # One fused repeat: each row contributes lows[row] - (elements emitted
+        # before it), so adding arange(total) walks its window left to right.
+        shifts = lows[start:stop] - (np.cumsum(chunk_counts) - chunk_counts)
+        yield probe_pos, np.repeat(shifts, chunk_counts) + np.arange(total, dtype=np.int64)
+
+
+def residual_mask(
+    s_arr: np.ndarray,
+    s_pos: np.ndarray,
+    t_arr: np.ndarray,
+    t_pos: np.ndarray,
+    eps_left: np.ndarray,
+    eps_right: np.ndarray,
+    skip_dim: int,
+) -> np.ndarray:
+    """Return the boolean mask of candidates satisfying every dimension but
+    ``skip_dim`` (already decided by the window), testing ``t - s`` against
+    the asymmetric widths exactly like the reference nested loop."""
+    keep = np.ones(s_pos.size, dtype=bool)
+    for i in range(s_arr.shape[1]):
+        if i == skip_dim:
+            continue
+        diff = t_arr[t_pos, i] - s_arr[s_pos, i]
+        keep &= (diff >= -eps_left[i]) & (diff <= eps_right[i])
+    return keep
+
+
+def _oriented(condition: BandCondition, dim: int, probe_is_s: bool) -> tuple[float, float]:
+    """:func:`_oriented_widths` on the condition's cached epsilon vectors."""
+    eps_left, eps_right = condition.eps_arrays()
+    return _oriented_widths(eps_left, eps_right, dim, probe_is_s)
+
+
+def _iter_matches(
+    probe_side: np.ndarray,
+    sorted_side: np.ndarray,
+    lows: np.ndarray,
+    counts: np.ndarray,
+    condition: BandCondition,
+    dim: int,
+    probe_is_s: bool,
+    candidate_cap: int,
+):
+    """Yield fully verified ``(probe_pos, window_pos)`` chunks.
+
+    ``probe_side`` must be sorted on ``dim`` (so the ``[lo, hi)`` windows are
+    monotone and each chunk's windows union into one contiguous slice of the
+    sorted side).  Beyond the plain expand-then-mask plan, each chunk picks
+    its *expansion dimension* adaptively: the chunk's window slice is
+    re-sorted on each residual dimension (one ``argsort`` of the slice, one
+    ``searchsorted`` pair for the chunk's probes) and the dimension with the
+    fewest candidates wins.  When another dimension is locally much more
+    selective than the sweep dimension — common for skewed data where a
+    single-dimension window covers a large value cluster — this cuts the
+    expanded candidate count by orders of magnitude; the skipped dimension is
+    recovered by the residual mask, which always verifies every dimension
+    except the expanded one.
+    """
+    d = probe_side.shape[1]
+    eps_left, eps_right = condition.eps_arrays()
+    highs = lows + counts
+    for start, stop in chunk_spans(counts, candidate_cap):
+        chunk_counts = counts[start:stop]
+        total0 = int(chunk_counts.sum())
+        if total0 == 0:
+            continue
+        nonzero = np.nonzero(chunk_counts)[0]
+        lo = int(lows[start + nonzero[0]])
+        hi = int(highs[start + nonzero[-1]])
+
+        expand_dim = dim
+        window_lows = lows[start:stop]
+        window_counts = chunk_counts
+        slice_map: np.ndarray | None = None
+        # Probing the residual dimensions costs one slice argsort each; only
+        # worthwhile when the slice is smaller than the pending expansion.
+        if d > 1 and hi - lo < total0:
+            best_total = total0
+            for i in range(d):
+                if i == dim:
+                    continue
+                sort_idx = np.argsort(sorted_side[lo:hi, i], kind="stable")
+                column = sorted_side[lo:hi, i][sort_idx]
+                below, above = _oriented_widths(eps_left, eps_right, i, probe_is_s)
+                alt_lows = np.searchsorted(
+                    column, probe_side[start:stop, i] - below, side="left"
+                )
+                alt_highs = np.searchsorted(
+                    column, probe_side[start:stop, i] + above, side="right"
+                )
+                alt_counts = np.maximum(alt_highs, alt_lows) - alt_lows
+                alt_total = int(alt_counts.sum())
+                if alt_total < best_total:
+                    best_total = alt_total
+                    expand_dim = i
+                    window_lows = alt_lows
+                    window_counts = alt_counts
+                    slice_map = sort_idx
+        for probe_local, window_local in iter_window_candidates(
+            window_lows, window_counts, candidate_cap
+        ):
+            probe_pos = probe_local + start
+            if slice_map is not None:
+                window_pos = slice_map[window_local] + lo
+            else:
+                window_pos = window_local
+            if d > 1:
+                if probe_is_s:
+                    keep = residual_mask(
+                        probe_side, probe_pos, sorted_side, window_pos,
+                        eps_left, eps_right, expand_dim,
+                    )
+                else:
+                    keep = residual_mask(
+                        sorted_side, window_pos, probe_side, probe_pos,
+                        eps_left, eps_right, expand_dim,
+                    )
+                probe_pos = probe_pos[keep]
+                window_pos = window_pos[keep]
+                if probe_pos.size == 0:
+                    continue
+            yield probe_pos, window_pos
+
+
+def _oriented_widths(
+    eps_left: np.ndarray, eps_right: np.ndarray, dim: int, probe_is_s: bool
+) -> tuple[float, float]:
+    """Return the (below, above) window widths of the probe side on ``dim``.
+
+    The band predicate reads ``-eps_left <= t - s <= eps_right``; probing
+    with s means t in ``[s - eps_left, s + eps_right]``, probing with t means
+    s in ``[t - eps_right, t + eps_left]``.
+    """
+    if probe_is_s:
+        return float(eps_left[dim]), float(eps_right[dim])
+    return float(eps_right[dim]), float(eps_left[dim])
+
+
+def interval_count(
+    s_arr: np.ndarray,
+    t_arr: np.ndarray,
+    condition: BandCondition,
+    dim: int,
+    probe_is_s: bool = True,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> int:
+    """Count band-join pairs without materializing any of them.
+
+    One-dimensional conditions are pure window arithmetic: sort the indexed
+    side's keys, one ``searchsorted`` pair, ``sum(hi - lo)`` — no boolean
+    masks, no candidate expansion, no O(output) allocation.  Further
+    dimensions fall back to chunk-wise expansion + masked counting under the
+    memory budget.
+    """
+    probe_arr, sorted_arr = (s_arr, t_arr) if probe_is_s else (t_arr, s_arr)
+    if probe_arr.shape[0] == 0 or sorted_arr.shape[0] == 0:
+        return 0
+    below, above = _oriented(condition, dim, probe_is_s)
+    if condition.dimensionality == 1:
+        keys = np.sort(sorted_arr[:, dim])
+        # Sorted probes keep the binary searches cache-local (~5x faster).
+        lows, highs = window_bounds(keys, np.sort(probe_arr[:, dim]), below, above)
+        return int((highs - lows).sum())
+
+    sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
+    sorted_side = sorted_arr[sorted_order]
+    # Sorting the probe side makes the chunk windows monotone (a requirement
+    # of the adaptive chunk driver) and keeps every gather slice-local.
+    probe_side = probe_arr[np.argsort(probe_arr[:, dim], kind="stable")]
+    lows, highs = window_bounds(sorted_side[:, dim], probe_side[:, dim], below, above)
+    total = 0
+    for probe_pos, _ in _iter_matches(
+        probe_side,
+        sorted_side,
+        lows,
+        highs - lows,
+        condition,
+        dim,
+        probe_is_s,
+        max_candidates(memory_budget),
+    ):
+        total += int(probe_pos.size)
+    return total
+
+
+def interval_join(
+    s_arr: np.ndarray,
+    t_arr: np.ndarray,
+    condition: BandCondition,
+    dim: int,
+    probe_is_s: bool = True,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> np.ndarray:
+    """Materialize the band-join pairs through the chunked interval kernel.
+
+    Returns ``(m, 2)`` ``(s_index, t_index)`` pairs in implementation order.
+    Multi-dimensional inputs sort the probe side on ``dim`` as well, so each
+    chunk's windows union into one contiguous slice of the sorted side (the
+    monotonicity the adaptive chunk driver relies on, and cache-local
+    gathers for free).
+    """
+    probe_arr, sorted_arr = (s_arr, t_arr) if probe_is_s else (t_arr, s_arr)
+    if probe_arr.shape[0] == 0 or sorted_arr.shape[0] == 0:
+        return empty_pairs()
+    below, above = _oriented(condition, dim, probe_is_s)
+
+    sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
+    sorted_side = sorted_arr[sorted_order]
+
+    if condition.dimensionality == 1:
+        # Every candidate is a result: expand straight into the output array
+        # (the transients are output-sized, which materialization implies
+        # anyway).  Probes are sorted for cache-local binary searches; the
+        # original row ids come back through one fused repeat.
+        probe_order = np.argsort(probe_arr[:, dim], kind="stable")
+        lows, highs = window_bounds(
+            sorted_side[:, dim], probe_arr[probe_order, dim], below, above
+        )
+        counts = highs - lows
+        total = int(counts.sum())
+        if total == 0:
+            return empty_pairs()
+        shifts = lows - (np.cumsum(counts) - counts)
+        window_pos = np.repeat(shifts, counts) + np.arange(total, dtype=np.int64)
+        pairs = np.empty((total, 2), dtype=np.int64)
+        pairs[:, 0 if probe_is_s else 1] = np.repeat(probe_order, counts)
+        pairs[:, 1 if probe_is_s else 0] = sorted_order[window_pos]
+        return pairs
+
+    probe_order = np.argsort(probe_arr[:, dim], kind="stable")
+    probe_side = probe_arr[probe_order]
+    lows, highs = window_bounds(sorted_side[:, dim], probe_side[:, dim], below, above)
+
+    chunks: list[np.ndarray] = []
+    for probe_pos, window_pos in _iter_matches(
+        probe_side,
+        sorted_side,
+        lows,
+        highs - lows,
+        condition,
+        dim,
+        probe_is_s,
+        max_candidates(memory_budget),
+    ):
+        probe_idx = probe_order[probe_pos]
+        window_idx = sorted_order[window_pos]
+        if probe_is_s:
+            chunks.append(np.column_stack([probe_idx, window_idx]))
+        else:
+            chunks.append(np.column_stack([window_idx, probe_idx]))
+    if not chunks:
+        return empty_pairs()
+    return np.concatenate(chunks).astype(np.int64, copy=False)

@@ -1,11 +1,20 @@
-"""Sort-based sweep band join.
+"""Sort-based sweep band join (vectorized).
 
-Both inputs are sorted on the sweep dimension; a window of T-tuples whose
-sweep value can still join with the current S-tuple is maintained while
-sweeping S in ascending order.  The remaining dimensions are verified against
-the window.  This is the classic plane-sweep formulation of a band join and
-serves as an alternative local algorithm with different input/output cost
-balance (cheaper when the band is narrow relative to the data spread).
+Both inputs are conceptually sorted on the sweep dimension and a window of
+T-tuples whose sweep value can still join with the current S-tuple is
+maintained while sweeping S in ascending order — the classic plane-sweep
+formulation of a band join.  The historical implementation advanced the
+window with a per-S-row Python loop; this one expresses the identical sweep
+with the chunked ``searchsorted`` interval kernel of
+:mod:`repro.local_join.kernels`: all windows come from one ``searchsorted``
+pair, candidate pairs are expanded chunk-wise with ``repeat``/``arange``
+under a configurable memory budget, and the remaining dimensions are
+verified with vectorized masks.
+
+``count()`` never materializes pairs.  For a one-dimensional condition the
+answer is pure window arithmetic (``sum(hi - lo)`` — no per-row boolean
+mask, no O(output) allocation); multi-dimensional counts filter chunk by
+chunk and only accumulate mask sums.
 """
 
 from __future__ import annotations
@@ -13,18 +22,45 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.band import BandCondition
+from repro.local_join import kernels
 from repro.local_join.base import LocalJoinAlgorithm, as_matrix, empty_pairs
 
 
 class SortSweepJoin(LocalJoinAlgorithm):
-    """Plane-sweep band join on the first (or chosen) dimension."""
+    """Plane-sweep band join on the first (or chosen) dimension.
+
+    Parameters
+    ----------
+    sweep_dimension:
+        Dimension swept (windows are computed on it).
+    memory_budget:
+        Byte budget of the transient candidate buffers (see
+        :mod:`repro.local_join.kernels`); execution backends shrink it when
+        several kernels run concurrently.
+    """
 
     name = "sort-sweep"
 
-    def __init__(self, sweep_dimension: int = 0) -> None:
+    def __init__(
+        self,
+        sweep_dimension: int = 0,
+        memory_budget: int = kernels.DEFAULT_MEMORY_BUDGET,
+    ) -> None:
         if sweep_dimension < 0:
             raise ValueError("sweep_dimension must be non-negative")
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
         self.sweep_dimension = sweep_dimension
+        self.memory_budget = memory_budget
+
+    def _check(self, condition: BandCondition) -> int:
+        dim = self.sweep_dimension
+        if dim >= condition.dimensionality:
+            raise ValueError(
+                f"sweep_dimension {dim} out of range for "
+                f"{condition.dimensionality}-dimensional join"
+            )
+        return dim
 
     def join(
         self,
@@ -32,8 +68,20 @@ class SortSweepJoin(LocalJoinAlgorithm):
         t_values: np.ndarray,
         condition: BandCondition,
     ) -> np.ndarray:
-        pairs, _ = self._sweep(s_values, t_values, condition, materialize=True)
-        return pairs
+        dim = self._check(condition)
+        d = condition.dimensionality
+        s_arr = as_matrix(s_values, d)
+        t_arr = as_matrix(t_values, d)
+        if s_arr.shape[0] == 0 or t_arr.shape[0] == 0:
+            return empty_pairs()
+        return kernels.interval_join(
+            s_arr,
+            t_arr,
+            condition,
+            dim,
+            probe_is_s=True,
+            memory_budget=self.memory_budget,
+        )
 
     def count(
         self,
@@ -41,63 +89,15 @@ class SortSweepJoin(LocalJoinAlgorithm):
         t_values: np.ndarray,
         condition: BandCondition,
     ) -> int:
-        _, total = self._sweep(s_values, t_values, condition, materialize=False)
-        return total
-
-    def _sweep(self, s_values, t_values, condition, materialize: bool):
+        dim = self._check(condition)
         d = condition.dimensionality
-        dim = self.sweep_dimension
-        if dim >= d:
-            raise ValueError(f"sweep_dimension {dim} out of range for {d}-dimensional join")
         s_arr = as_matrix(s_values, d)
         t_arr = as_matrix(t_values, d)
-        if s_arr.shape[0] == 0 or t_arr.shape[0] == 0:
-            return empty_pairs(), 0
-
-        pred = condition.predicates[dim]
-        s_order = np.argsort(s_arr[:, dim], kind="stable")
-        t_order = np.argsort(t_arr[:, dim], kind="stable")
-        s_sorted = s_arr[s_order]
-        t_sorted = t_arr[t_order]
-        t_keys = t_sorted[:, dim]
-        other_dims = [i for i in range(d) if i != dim]
-
-        chunks: list[np.ndarray] = []
-        total = 0
-        window_lo = 0
-        window_hi = 0
-        n_t = t_sorted.shape[0]
-        for pos, s_row in enumerate(s_sorted):
-            sweep_value = s_row[dim]
-            low_bound = sweep_value - pred.eps_left
-            high_bound = sweep_value + pred.eps_right
-            while window_lo < n_t and t_keys[window_lo] < low_bound:
-                window_lo += 1
-            if window_hi < window_lo:
-                window_hi = window_lo
-            while window_hi < n_t and t_keys[window_hi] <= high_bound:
-                window_hi += 1
-            if window_lo >= window_hi:
-                continue
-            window = slice(window_lo, window_hi)
-            keep = np.ones(window_hi - window_lo, dtype=bool)
-            for i in other_dims:
-                other_pred = condition.predicates[i]
-                diff = t_sorted[window, i] - s_row[i]
-                keep &= (diff >= -other_pred.eps_left) & (diff <= other_pred.eps_right)
-            matched = np.nonzero(keep)[0]
-            if matched.size == 0:
-                continue
-            if materialize:
-                s_idx = np.full(matched.size, s_order[pos], dtype=np.int64)
-                t_idx = t_order[window_lo + matched]
-                chunks.append(np.column_stack([s_idx, t_idx]))
-            else:
-                total += int(matched.size)
-
-        if materialize:
-            if not chunks:
-                return empty_pairs(), 0
-            pairs = np.concatenate(chunks)
-            return pairs, int(pairs.shape[0])
-        return empty_pairs(), total
+        return kernels.interval_count(
+            s_arr,
+            t_arr,
+            condition,
+            dim,
+            probe_is_s=True,
+            memory_budget=self.memory_budget,
+        )

@@ -1,6 +1,24 @@
-"""Input and join-output sampling used by the optimization phase."""
+"""Input, join-output and band-selectivity sampling.
+
+Input and output samples feed the optimization phase; the selectivity
+estimates feed the local-join kernel selector and the serving layer's
+admission control.
+"""
 
 from repro.sampling.input_sampler import InputSample, draw_input_sample
 from repro.sampling.output_sampler import OutputSample, draw_output_sample
+from repro.sampling.selectivity import (
+    estimate_join_output,
+    estimate_join_selectivity,
+    window_fractions,
+)
 
-__all__ = ["InputSample", "draw_input_sample", "OutputSample", "draw_output_sample"]
+__all__ = [
+    "InputSample",
+    "draw_input_sample",
+    "OutputSample",
+    "draw_output_sample",
+    "window_fractions",
+    "estimate_join_selectivity",
+    "estimate_join_output",
+]

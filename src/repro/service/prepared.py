@@ -38,7 +38,7 @@ from repro.exceptions import ServiceError
 from repro.geometry.band import BandCondition
 from repro.service.catalog import RelationCatalog, RelationSnapshot
 
-__all__ = ["QueryResult", "PreparedQuery", "PreparedQueryStats"]
+__all__ = ["QueryResult", "PreparedQuery", "PreparedQueryStats", "gather_rows"]
 
 #: Execution paths a query can take, slowest to fastest.
 PATH_COLD = "cold"                  # optimize + full join
@@ -331,6 +331,65 @@ class PreparedQuery:
     def __call__(self, epsilons=None) -> QueryResult:
         return self.execute(epsilons)
 
+    # ------------------------------------------------------------------ #
+    # Cheap cardinality paths (admission control, capacity planning)
+    # ------------------------------------------------------------------ #
+    def estimate_pairs(self, epsilons=None, sample_size: int | None = None) -> float:
+        """Cheaply estimate the output cardinality of one epsilon binding.
+
+        A cached materialized result for the current catalog versions is
+        answered exactly; otherwise a sampled band-selectivity probe
+        (:func:`repro.sampling.selectivity.estimate_join_output` — a few
+        hundred rows per side, one ``searchsorted`` pair per dimension) gives
+        the order of magnitude without touching the engine.  The scheduler's
+        admission control prices queries with this before enqueueing them.
+        """
+        from repro.sampling.selectivity import (
+            DEFAULT_SELECTIVITY_SAMPLE,
+            estimate_join_selectivity,
+        )
+
+        s_snap, t_snap = self.snapshots()
+        ekey = self.epsilon_key(epsilons)
+        with self._lock:
+            hit = self._results.get((s_snap.version, t_snap.version, ekey))
+        if hit is not None:
+            return float(hit.n_pairs)
+        condition = self.condition(ekey)
+        k = sample_size if sample_size is not None else DEFAULT_SELECTIVITY_SAMPLE
+        # Gather only the sampled rows — never the full (n, d) join matrices;
+        # the probe must stay O(k log k) however large the relations grow.
+        s_sample = _sampled_join_matrix(s_snap.full, self.attributes, k)
+        t_sample = _sampled_join_matrix(t_snap.full, self.attributes, k)
+        selectivity = estimate_join_selectivity(s_sample, t_sample, condition, k)
+        return selectivity * len(s_snap.full) * len(t_snap.full)
+
+    def count(self, epsilons=None) -> int:
+        """Return the exact output cardinality without materializing pairs.
+
+        Runs the engine's count path (zero-materialization kernels: window
+        arithmetic in one dimension, chunk-wise masked counting beyond), so
+        the cost is bounded by the input scan plus the kernel budget — never
+        by the output size.  A cached materialized result is answered
+        directly.
+        """
+        s_snap, t_snap = self.snapshots()
+        ekey = self.epsilon_key(epsilons)
+        with self._lock:
+            hit = self._results.get((s_snap.version, t_snap.version, ekey))
+        if hit is not None:
+            return hit.n_pairs
+        condition = self.condition(ekey)
+        result = self.engine.join(
+            s_snap.full,
+            t_snap.full,
+            condition,
+            workers=self.workers,
+            partitioner=self.partitioner,
+            materialize=False,
+        )
+        return int(result.total_output)
+
     def _plan(self, s_snap, t_snap, condition):
         """Resolve the partitioning of the base pair through the plan cache."""
         plan, _ = self.engine.plan_cache.get_or_build(
@@ -434,6 +493,25 @@ class PreparedQuery:
             f"PreparedQuery({self.s_name!r} ⋈ {self.t_name!r} on "
             f"{list(self.attributes)}, workers={self.workers})"
         )
+
+
+def gather_rows(relation, attributes, rows) -> np.ndarray:
+    """Extract the join-attribute values of selected rows without
+    materializing the full ``(n, d)`` join matrix of the relation."""
+    return np.column_stack(
+        [np.asarray(relation.column(a), dtype=float)[rows] for a in attributes]
+    )
+
+
+def _sampled_join_matrix(relation, attributes, sample_size: int) -> np.ndarray:
+    """Return a ``(min(n, sample_size), d)`` evenly spaced row sample of the
+    relation's join attributes, gathering only the sampled rows."""
+    from repro.sampling.selectivity import evenly_spaced_indices
+
+    idx = evenly_spaced_indices(len(relation), sample_size)
+    if idx is None:
+        return relation.join_matrix(attributes)
+    return gather_rows(relation, attributes, idx)
 
 
 def _shift_pairs(pairs: np.ndarray, s_shift: int, t_shift: int) -> np.ndarray:

@@ -22,7 +22,11 @@ satisfies a narrower band iff its values do).
 **Admission control** — at most ``max_pending`` requests may be queued or
 executing; beyond that :meth:`QueryScheduler.submit` raises
 :class:`~repro.exceptions.ServiceOverloadError` instead of letting queues
-grow without bound.
+grow without bound.  Optionally the scheduler also prices each query by its
+cheap sampled output estimate (:meth:`PreparedQuery.estimate_pairs`, powered
+by the zero-materialization counting kernels) and rejects queries whose
+estimate exceeds ``max_estimated_pairs`` — a runaway band width then fails
+fast at submit time instead of tying a worker to an enormous dispatch.
 
 Every request is timed (queue wait, execution, total) and counted per
 execution path; :meth:`SchedulerMetrics.snapshot` reports the counters plus
@@ -37,8 +41,6 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from repro.config import DEFAULT_MAX_BATCH, DEFAULT_MAX_PENDING, DEFAULT_SCHEDULER_WORKERS
 from repro.exceptions import ServiceError, ServiceOverloadError
 from repro.service.prepared import (
@@ -46,17 +48,10 @@ from repro.service.prepared import (
     PreparedQuery,
     QueryResult,
     epsilon_union,
+    gather_rows,
 )
 
 __all__ = ["QueryScheduler", "SchedulerMetrics"]
-
-
-def _gather_rows(relation, attributes, rows) -> np.ndarray:
-    """Extract the join-attribute values of selected rows without
-    materializing the full (n, d) join matrix of the relation."""
-    return np.column_stack(
-        [np.asarray(relation.column(a), dtype=float)[rows] for a in attributes]
-    )
 
 
 class SchedulerMetrics:
@@ -145,6 +140,9 @@ class QueryScheduler:
         Admission-control limit on requests queued or executing.
     max_batch:
         Maximum number of compatible requests served by one dispatch.
+    max_estimated_pairs:
+        Reject queries whose sampled output estimate exceeds this many
+        pairs (``None`` disables output-size admission control).
     """
 
     def __init__(
@@ -152,6 +150,7 @@ class QueryScheduler:
         max_workers: int = DEFAULT_SCHEDULER_WORKERS,
         max_pending: int = DEFAULT_MAX_PENDING,
         max_batch: int = DEFAULT_MAX_BATCH,
+        max_estimated_pairs: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -159,8 +158,11 @@ class QueryScheduler:
             raise ServiceError("max_pending must be at least 1")
         if max_batch < 1:
             raise ServiceError("max_batch must be at least 1")
+        if max_estimated_pairs is not None and max_estimated_pairs < 1:
+            raise ServiceError("max_estimated_pairs must be positive when set")
         self.max_pending = max_pending
         self.max_batch = max_batch
+        self.max_estimated_pairs = max_estimated_pairs
         self.metrics = SchedulerMetrics()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -183,38 +185,70 @@ class QueryScheduler:
         """Enqueue one query; returns a future resolving to a QueryResult.
 
         Identical in-flight requests share one future (single-flight); a
-        full scheduler raises :class:`ServiceOverloadError` immediately.
-        The catalog versions at submit time are part of the request
-        identity, so a query following an acknowledged append never attaches
-        to an execution over the pre-append data.
+        full scheduler raises :class:`ServiceOverloadError` immediately, as
+        does a query whose sampled output estimate exceeds
+        ``max_estimated_pairs``.  The catalog versions at submit time are
+        part of the request identity, so a query following an acknowledged
+        append never attaches to an execution over the pre-append data.
         """
         ekey = prepared.epsilon_key(epsilons)
         key = (prepared.key, ekey, prepared.current_versions())
         with self._work_ready:
-            if self._shutdown:
-                raise ServiceError("scheduler is shut down")
-            existing = self._inflight.get(key)
+            existing = self._admit_locked(key)
             if existing is not None:
-                self.metrics.deduplicated += 1
-                return existing.future
-            if len(self._inflight) >= self.max_pending:
+                return existing
+            if self.max_estimated_pairs is None:
+                return self._enqueue_locked(prepared, ekey, key)
+        # Priced outside the scheduler lock (the probe reads the catalog) and
+        # after the saturation check, so overload never pays for probes; a
+        # duplicate landing meanwhile is caught by the re-admission below.
+        estimate = prepared.estimate_pairs(ekey)
+        if estimate > self.max_estimated_pairs:
+            with self._work_ready:
                 self.metrics.rejected += 1
-                raise ServiceOverloadError(
-                    f"scheduler is saturated ({self.max_pending} pending queries); "
-                    "retry once in-flight work drains"
-                )
-            request = _Request(
-                prepared=prepared,
-                ekey=ekey,
-                key=key,
-                future=Future(),
-                submitted_at=time.perf_counter(),
+            raise ServiceOverloadError(
+                f"estimated output of ~{estimate:,.0f} pairs exceeds the "
+                f"admission limit of {self.max_estimated_pairs:,} pairs; "
+                "narrow the band or raise max_estimated_pairs"
             )
-            self._inflight[key] = request
-            self._queue.append(request)
-            self.metrics.submitted += 1
-            self._work_ready.notify()
-            return request.future
+        with self._work_ready:
+            existing = self._admit_locked(key)
+            if existing is not None:
+                return existing
+            return self._enqueue_locked(prepared, ekey, key)
+
+    def _admit_locked(self, key: tuple) -> Future | None:
+        """Admission gate (caller holds the lock): returns the in-flight
+        future of a duplicate, raises on shutdown or saturation, and returns
+        ``None`` when the request may enqueue."""
+        if self._shutdown:
+            raise ServiceError("scheduler is shut down")
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.deduplicated += 1
+            return existing.future
+        if len(self._inflight) >= self.max_pending:
+            self.metrics.rejected += 1
+            raise ServiceOverloadError(
+                f"scheduler is saturated ({self.max_pending} pending queries); "
+                "retry once in-flight work drains"
+            )
+        return None
+
+    def _enqueue_locked(self, prepared: PreparedQuery, ekey: tuple, key: tuple) -> Future:
+        """Enqueue an admitted request (caller holds the lock)."""
+        request = _Request(
+            prepared=prepared,
+            ekey=ekey,
+            key=key,
+            future=Future(),
+            submitted_at=time.perf_counter(),
+        )
+        self._inflight[key] = request
+        self._queue.append(request)
+        self.metrics.submitted += 1
+        self._work_ready.notify()
+        return request.future
 
     def query(self, prepared: PreparedQuery, epsilons=None, timeout=None) -> QueryResult:
         """Synchronous submit-and-wait."""
@@ -295,8 +329,8 @@ class QueryScheduler:
         wide = prepared.execute(widest, snapshots=snapshots)
         s_values = t_values = None
         if wide.pairs.shape[0]:
-            s_values = _gather_rows(snapshots[0].full, prepared.attributes, wide.pairs[:, 0])
-            t_values = _gather_rows(snapshots[1].full, prepared.attributes, wide.pairs[:, 1])
+            s_values = gather_rows(snapshots[0].full, prepared.attributes, wide.pairs[:, 0])
+            t_values = gather_rows(snapshots[1].full, prepared.attributes, wide.pairs[:, 1])
         results: list[QueryResult] = []
         for request in batch:
             if request.ekey == widest:

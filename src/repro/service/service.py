@@ -21,7 +21,6 @@ from __future__ import annotations
 import threading
 
 from repro.config import ServiceConfig
-from repro.engine.backends import get_backend
 from repro.engine.engine import ParallelJoinEngine
 from repro.engine.plan_cache import PlanCache
 from repro.exceptions import ServiceError
@@ -63,8 +62,10 @@ class BandJoinService:
         self.config = config if config is not None else ServiceConfig()
         backend = "serial" if self.config.backend == "simulated" else self.config.backend
         self.engine = ParallelJoinEngine(
-            backend=get_backend(backend),
+            backend=backend,
+            algorithm=self.config.local_algorithm,
             plan_cache=PlanCache(max_entries=self.config.plan_cache_size),
+            memory_budget=self.config.kernel_memory_budget,
         )
         self.catalog = RelationCatalog(
             staleness_threshold=self.config.staleness_threshold,
@@ -74,6 +75,7 @@ class BandJoinService:
             max_workers=self.config.scheduler_workers,
             max_pending=self.config.max_pending,
             max_batch=self.config.max_batch,
+            max_estimated_pairs=self.config.max_estimated_pairs,
         )
         self.partitioner = partitioner
         self._prepared: dict[str, PreparedQuery] = {}

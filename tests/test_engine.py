@@ -389,3 +389,60 @@ class TestEngineConfig:
     def test_invalid_cache_size(self):
         with pytest.raises(ValueError):
             EngineConfig(plan_cache_size=0)
+
+
+class TestKernelSelectionAndBudget:
+    """Local-algorithm names and kernel memory budgets through the engine."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["index-nested-loop", "sort-sweep", "iejoin-local", "auto"]
+    )
+    def test_named_kernels_produce_the_reference_pair_set(self, algorithm):
+        s, t, condition = _small_problem(seed=17)
+        partitioning = RecPartPartitioner(seed=17).partition(s, t, condition, workers=4)
+        engine = ParallelJoinEngine(backend="serial", algorithm=algorithm)
+        result = engine.execute(s, t, condition, partitioning, materialize=True)
+        np.testing.assert_array_equal(
+            canonical_pair_order(result.pairs), _reference_pairs(s, t, condition)
+        )
+
+    def test_engine_rejects_unknown_kernel_names(self):
+        with pytest.raises(ValueError):
+            ParallelJoinEngine(backend="serial", algorithm="no-such-kernel")
+
+    def test_backend_splits_memory_budget_across_pool(self):
+        from repro.engine.backends import ThreadPoolBackend
+        from repro.local_join import kernels
+        from repro.local_join.sort_band import SortSweepJoin
+
+        backend = ThreadPoolBackend(max_workers=4, memory_budget=4 * 1024 * 1024)
+        algorithm = SortSweepJoin()
+        bound = backend._budgeted(algorithm, concurrency=4)
+        assert bound.memory_budget == 1024 * 1024
+        assert algorithm.memory_budget == kernels.DEFAULT_MEMORY_BUDGET  # untouched
+
+    def test_tiny_budget_does_not_change_results(self):
+        s, t, condition = _small_problem(seed=21)
+        partitioning = RecPartPartitioner(seed=21).partition(s, t, condition, workers=3)
+        reference = _reference_pairs(s, t, condition)
+        engine = ParallelJoinEngine(
+            backend="serial", algorithm="sort-sweep", memory_budget=4096
+        )
+        result = engine.execute(s, t, condition, partitioning, materialize=True)
+        np.testing.assert_array_equal(canonical_pair_order(result.pairs), reference)
+
+    def test_engine_config_carries_kernel_settings(self):
+        config = EngineConfig(
+            backend="serial", local_algorithm="auto", kernel_memory_budget=1 << 20
+        )
+        engine = ParallelJoinEngine.from_config(config)
+        assert engine.algorithm.name == "auto"
+        assert engine.backend.memory_budget == 1 << 20
+        executor = DistributedBandJoinExecutor(engine=config)
+        assert executor.algorithm.name == "auto"
+
+    def test_engine_config_rejects_bad_kernel_settings(self):
+        with pytest.raises(ValueError):
+            EngineConfig(local_algorithm="bogus")
+        with pytest.raises(ValueError):
+            EngineConfig(kernel_memory_budget=0)

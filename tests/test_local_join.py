@@ -12,7 +12,13 @@ import pytest
 
 from repro.data.generators import pareto_relation, uniform_relation
 from repro.geometry.band import BandCondition
-from repro.local_join import default_local_join
+from repro.local_join import (
+    LOCAL_ALGORITHMS,
+    default_local_join,
+    get_local_algorithm,
+)
+from repro.local_join import kernels
+from repro.local_join.auto import AutoJoin
 from repro.local_join.base import canonical_pair_order, join_pair_count
 from repro.local_join.iejoin_local import IEJoinLocal
 from repro.local_join.index_nested_loop import IndexNestedLoopJoin
@@ -24,6 +30,7 @@ ALGORITHMS = [
     IndexNestedLoopJoin(max_candidates_per_chunk=1000),
     SortSweepJoin(),
     IEJoinLocal(),
+    AutoJoin(),
 ]
 
 
@@ -161,6 +168,15 @@ class TestHelpers:
         ordered = canonical_pair_order(pairs)
         assert ordered.tolist() == [[0, 5], [2, 0], [2, 1]]
 
+    def test_eps_arrays_are_cached_and_read_only(self):
+        condition = BandCondition({"A1": (0.2, 0.7), "A2": 0.5})
+        left, right = condition.eps_arrays()
+        assert condition.eps_arrays() is condition.eps_arrays()
+        np.testing.assert_array_equal(left, [0.2, 0.5])
+        np.testing.assert_array_equal(right, [0.7, 0.5])
+        with pytest.raises(ValueError):
+            left[0] = 99.0
+
     def test_relation_sized_uniform_join_count_sanity(self):
         """Expected number of pairs for uniform data matches the analytic value."""
         s = uniform_relation("S", 2000, dimensions=1, seed=0)
@@ -171,3 +187,184 @@ class TestHelpers:
         )
         expected = 2000 * 2000 * 0.02  # P(|x-y| <= 0.01) ~ 2 * eps for uniform [0, 1)
         assert 0.7 * expected < count < 1.3 * expected
+
+
+class TestRandomizedKernelEquivalence:
+    """Randomized pair-set equivalence of every kernel against the reference.
+
+    Each trial draws a fresh shape (dimensionality, sizes including empty and
+    single-row relations), value distribution (continuous or quantized so
+    duplicates are common) and an asymmetric epsilon per dimension; all
+    kernels must return exactly the reference pair set and count.
+    """
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_pair_set_equivalence(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        d = int(rng.integers(1, 4))
+        n_s = int(rng.choice([0, 1, 2, 37, 120]))
+        n_t = int(rng.choice([0, 1, 2, 41, 140]))
+        spread = float(rng.uniform(2.0, 12.0))
+        if rng.random() < 0.5:  # quantized values: duplicates and boundary ties
+            s = rng.integers(0, 12, size=(n_s, d)).astype(float)
+            t = rng.integers(0, 12, size=(n_t, d)).astype(float)
+        else:
+            s = rng.uniform(0, spread, size=(n_s, d))
+            t = rng.uniform(0, spread, size=(n_t, d))
+        widths = {
+            f"A{i+1}": (float(rng.uniform(0, 1.2)), float(rng.uniform(0, 1.2)))
+            for i in range(d)
+        }
+        condition = BandCondition(widths)
+        reference = canonical_pair_order(NestedLoopJoin().join(s, t, condition))
+        kernels_under_test = [
+            IndexNestedLoopJoin(),
+            SortSweepJoin(),
+            IEJoinLocal(),
+            AutoJoin(),
+            SortSweepJoin(memory_budget=64),   # ~2 candidates per chunk
+            IEJoinLocal(memory_budget=64),
+            IndexNestedLoopJoin(memory_budget=64),
+        ]
+        for algorithm in kernels_under_test:
+            result = canonical_pair_order(algorithm.join(s, t, condition))
+            np.testing.assert_array_equal(result, reference, err_msg=algorithm.name)
+            assert algorithm.count(s, t, condition) == reference.shape[0], algorithm.name
+
+    def test_single_row_relations(self):
+        condition = BandCondition({"A1": (0.5, 0.25)})
+        s = np.array([[1.0]])
+        t_in = np.array([[1.2]])   # t - s = 0.2 <= 0.25: joins
+        t_out = np.array([[1.3]])  # t - s = 0.3 > 0.25: does not
+        for algorithm in ALGORITHMS:
+            assert algorithm.count(s, t_in, condition) == 1, algorithm.name
+            assert algorithm.count(s, t_out, condition) == 0, algorithm.name
+
+    def test_all_duplicate_values(self):
+        condition = BandCondition.symmetric(["A1", "A2"], 0.0)
+        s = np.ones((25, 2))
+        t = np.ones((30, 2))
+        for algorithm in ALGORITHMS:
+            assert algorithm.count(s, t, condition) == 25 * 30, algorithm.name
+
+
+class TestZeroMaterializationCounts:
+    """count() must never expand candidate pairs on the 1-D path."""
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [SortSweepJoin(), IEJoinLocal(), IndexNestedLoopJoin()],
+        ids=lambda a: a.name,
+    )
+    def test_1d_count_never_expands_candidates(self, algorithm, rng, monkeypatch):
+        s, t = rng.uniform(0, 4, size=(300, 1)), rng.uniform(0, 4, size=(300, 1))
+        condition = BandCondition.symmetric(["A1"], 0.3)
+        expected = NestedLoopJoin().count(s, t, condition)
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("1-D count must not expand candidate pairs")
+
+        monkeypatch.setattr(kernels, "iter_window_candidates", _forbidden)
+        assert algorithm.count(s, t, condition) == expected
+
+    def test_multi_d_count_is_chunk_bounded(self, rng):
+        """Multi-dimensional counting also stays exact under a tiny budget."""
+        s, t = rng.uniform(0, 3, size=(200, 2)), rng.uniform(0, 3, size=(200, 2))
+        condition = BandCondition.symmetric(["A1", "A2"], 0.25)
+        expected = NestedLoopJoin().count(s, t, condition)
+        assert SortSweepJoin(memory_budget=64).count(s, t, condition) == expected
+        assert IEJoinLocal(memory_budget=64).count(s, t, condition) == expected
+
+
+class TestKernelPrimitives:
+    def test_chunk_spans_respect_budget(self):
+        counts = np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.int64)
+        spans = list(kernels.chunk_spans(counts, 7))
+        assert spans[0][0] == 0 and spans[-1][1] == counts.shape[0]
+        for (start, stop), (next_start, _) in zip(spans, spans[1:]):
+            assert stop == next_start
+        for start, stop in spans:
+            if stop - start > 1:  # single oversized rows are allowed through
+                assert int(counts[start:stop].sum()) <= 7
+
+    def test_oversized_window_is_sliced(self):
+        lows = np.array([0], dtype=np.int64)
+        counts = np.array([10], dtype=np.int64)
+        chunks = list(kernels.iter_window_candidates(lows, counts, 4))
+        assert [c[1].size for c in chunks] == [4, 4, 2]
+        flat = np.concatenate([c[1] for c in chunks])
+        np.testing.assert_array_equal(flat, np.arange(10))
+
+    def test_max_candidates_validation(self):
+        with pytest.raises(ValueError):
+            kernels.max_candidates(0)
+        assert kernels.max_candidates(kernels.CANDIDATE_BYTES * 5) == 5
+
+
+class TestAutoJoinSelection:
+    def test_tiny_inputs_use_nested_loop(self, rng):
+        s, t = rng.uniform(0, 1, size=(20, 2)), rng.uniform(0, 1, size=(20, 2))
+        condition = BandCondition.symmetric(["A1", "A2"], 0.1)
+        auto = AutoJoin()
+        assert auto.select(s, t, condition).name == "nested-loop"
+
+    def test_dense_band_uses_nested_loop(self, rng):
+        s, t = rng.uniform(0, 1, size=(400, 1)), rng.uniform(0, 1, size=(400, 1))
+        wide = BandCondition.symmetric(["A1"], 10.0)  # everything joins
+        assert AutoJoin().select(s, t, wide).name == "nested-loop"
+
+    def test_selective_band_uses_interval_kernel_on_best_dimension(self, rng):
+        # Dimension 2 has a far larger spread-to-width ratio.
+        s = np.column_stack([rng.uniform(0, 1, 500), rng.uniform(0, 1000, 500)])
+        t = np.column_stack([rng.uniform(0, 1, 500), rng.uniform(0, 1000, 500)])
+        condition = BandCondition.symmetric(["A1", "A2"], 0.5)
+        chosen = AutoJoin().select(s, t, condition)
+        assert chosen.name == "sort-sweep"
+        assert chosen.sweep_dimension == 1
+
+    def test_last_choice_records_dispatch(self, rng):
+        s, t = rng.uniform(0, 5, size=(300, 1)), rng.uniform(0, 5, size=(300, 1))
+        condition = BandCondition.symmetric(["A1"], 0.05)
+        auto = AutoJoin()
+        auto.count(s, t, condition)
+        assert auto.last_choice == "sort-sweep"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AutoJoin(memory_budget=0)
+        with pytest.raises(ValueError):
+            AutoJoin(dense_fraction=0.0)
+
+
+class TestRegistryAndBudgets:
+    def test_registry_resolves_every_name(self):
+        for name in LOCAL_ALGORITHMS:
+            assert get_local_algorithm(name).name == name
+
+    def test_config_names_match_registry(self):
+        """config.LOCAL_ALGORITHM_NAMES is a dependency-free copy of the
+        registry keys; this pins the two in sync."""
+        from repro.config import LOCAL_ALGORITHM_NAMES
+
+        assert set(LOCAL_ALGORITHM_NAMES) == set(LOCAL_ALGORITHMS)
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            get_local_algorithm("quantum-join")
+
+    def test_registry_default_and_passthrough(self):
+        assert isinstance(get_local_algorithm(None), IndexNestedLoopJoin)
+        instance = SortSweepJoin()
+        assert get_local_algorithm(instance) is instance
+
+    def test_with_memory_budget_copies_budgeted_kernels(self):
+        original = SortSweepJoin()
+        bound = original.with_memory_budget(4096)
+        assert bound is not original
+        assert bound.memory_budget == 4096
+        assert original.memory_budget == kernels.DEFAULT_MEMORY_BUDGET
+        # Unchanged or absent budgets pass the instance through.
+        assert bound.with_memory_budget(4096) is bound
+        assert bound.with_memory_budget(None) is bound
+        plain = NestedLoopJoin()
+        assert plain.with_memory_budget(4096) is plain

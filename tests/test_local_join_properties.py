@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as npst
 
 from repro.geometry.band import BandCondition
+from repro.local_join.auto import AutoJoin
 from repro.local_join.base import canonical_pair_order
 from repro.local_join.iejoin_local import IEJoinLocal
 from repro.local_join.index_nested_loop import IndexNestedLoopJoin
@@ -29,9 +30,30 @@ def test_all_algorithms_agree_on_random_inputs(s, t, eps):
     """Every local algorithm returns exactly the reference pair set."""
     condition = BandCondition.symmetric(["A1", "A2"], eps)
     reference = canonical_pair_order(NestedLoopJoin().join(s, t, condition))
-    for algorithm in (IndexNestedLoopJoin(), SortSweepJoin(), IEJoinLocal()):
+    for algorithm in (IndexNestedLoopJoin(), SortSweepJoin(), IEJoinLocal(), AutoJoin()):
         result = canonical_pair_order(algorithm.join(s, t, condition))
         np.testing.assert_array_equal(result, reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    s=_value_arrays(),
+    t=_value_arrays(),
+    eps_left=st.floats(0, 2),
+    eps_right=st.floats(0, 2),
+)
+def test_asymmetric_bands_agree_under_tiny_budgets(s, t, eps_left, eps_right):
+    """Asymmetric widths and minimal chunk budgets never change the pair set."""
+    condition = BandCondition({"A1": (eps_left, eps_right), "A2": (eps_right, eps_left)})
+    reference = canonical_pair_order(NestedLoopJoin().join(s, t, condition))
+    for algorithm in (
+        SortSweepJoin(memory_budget=64),
+        IEJoinLocal(memory_budget=64),
+        IndexNestedLoopJoin(memory_budget=64),
+    ):
+        result = canonical_pair_order(algorithm.join(s, t, condition))
+        np.testing.assert_array_equal(result, reference)
+        assert algorithm.count(s, t, condition) == reference.shape[0]
 
 
 @settings(max_examples=40, deadline=None)

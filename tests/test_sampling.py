@@ -138,3 +138,47 @@ class TestOutputSampler:
             draw_output_sample(s, t, condition, 10, rng, initial_fraction=0.6, max_fraction=0.5)
         with pytest.raises(SamplingError):
             draw_output_sample(s, t, condition, 10, rng, growth=1.0)
+
+
+class TestSelectivityEstimates:
+    def test_uniform_window_fraction_matches_analytic_value(self):
+        from repro.sampling.selectivity import window_fractions
+
+        rng = np.random.default_rng(5)
+        s = rng.uniform(0, 1, size=(5000, 1))
+        t = rng.uniform(0, 1, size=(5000, 1))
+        condition = BandCondition.symmetric(["A1"], 0.05)
+        fraction = window_fractions(s, t, condition)[0]
+        # P(|x - y| <= 0.05) for uniform [0, 1) is ~2 * 0.05 = 0.1.
+        assert 0.07 < fraction < 0.13
+
+    def test_output_estimate_tracks_exact_count(self):
+        from repro.sampling.selectivity import estimate_join_output
+
+        rng = np.random.default_rng(9)
+        s = rng.uniform(0, 2, size=(3000, 1))
+        t = rng.uniform(0, 2, size=(3000, 1))
+        condition = BandCondition.symmetric(["A1"], 0.02)
+        estimate = estimate_join_output(s, t, condition)
+        exact = join_pair_count(s, t, condition)
+        assert 0.5 * exact <= estimate <= 2.0 * exact
+
+    def test_empty_inputs_estimate_zero(self):
+        from repro.sampling.selectivity import (
+            estimate_join_output,
+            window_fractions,
+        )
+
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        empty = np.empty((0, 1))
+        some = np.ones((5, 1))
+        assert estimate_join_output(empty, some, condition) == 0.0
+        np.testing.assert_array_equal(window_fractions(some, empty, condition), [0.0])
+
+    def test_invalid_sample_size(self):
+        from repro.sampling.selectivity import window_fractions
+
+        condition = BandCondition.symmetric(["A1"], 0.1)
+        values = np.ones((5, 1))
+        with pytest.raises(ValueError):
+            window_fractions(values, values, condition, sample_size=0)

@@ -640,3 +640,52 @@ class TestServiceFacadeAndServer:
         replies = [json.loads(line) for line in lines[1:]]
         assert all(r["ok"] for r in replies)
         assert replies[3]["pairs"] > 0
+
+
+class TestOutputAdmissionControl:
+    """max_estimated_pairs prices queries before they reach a worker."""
+
+    def test_oversized_estimate_is_rejected_narrow_passes(self):
+        rng = np.random.default_rng(3)
+        with sync_service(max_estimated_pairs=1000, workers=2) as service:
+            service.register("S", _columns(rng, 400))
+            service.register("T", _columns(rng, 400))
+            service.prepare("q", "S", "T", attributes=["A1"])
+            # A band covering everything estimates ~160k pairs: rejected.
+            with pytest.raises(ServiceOverloadError):
+                service.query("q", epsilons=10.0)
+            assert service.scheduler.metrics.rejected == 1
+            # A narrow band estimates well under the limit: served.
+            result = service.query("q", epsilons=0.0005)
+            assert result.n_pairs == _reference_pairs(
+                service.catalog.get("S").full, service.catalog.get("T").full, 0.0005
+            ).shape[0]
+
+    def test_cached_result_prices_exactly(self):
+        """After a result is cached, admission uses its exact cardinality."""
+        rng = np.random.default_rng(7)
+        with sync_service(workers=2) as service:
+            service.register("S", _columns(rng, 300))
+            service.register("T", _columns(rng, 300))
+            prepared = service.prepare("q", "S", "T", attributes=["A1"], epsilons=0.01)
+            exact = service.query("q").n_pairs
+            assert prepared.estimate_pairs() == float(exact)
+
+    def test_estimate_pairs_sanity(self):
+        """The sampled estimate lands within a small factor of the truth."""
+        rng = np.random.default_rng(11)
+        with sync_service(workers=2) as service:
+            service.register("S", _columns(rng, 2000))
+            service.register("T", _columns(rng, 2000))
+            prepared = service.prepare("q", "S", "T", attributes=["A1"], epsilons=0.01)
+            estimate = prepared.estimate_pairs()
+            exact = prepared.count()
+            assert 0.3 * exact <= estimate <= 3.0 * exact
+
+    def test_count_matches_materialized_query(self):
+        rng = np.random.default_rng(13)
+        with sync_service(workers=2) as service:
+            service.register("S", _columns(rng, 500))
+            service.register("T", _columns(rng, 500))
+            prepared = service.prepare("q", "S", "T", attributes=["A1"], epsilons=0.02)
+            assert prepared.count() == service.query("q").n_pairs
