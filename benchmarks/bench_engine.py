@@ -32,6 +32,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
+import repro.obs as obs  # noqa: E402
 from repro.engine import ParallelJoinEngine, PlanCache  # noqa: E402
 from repro.experiments.workloads import pareto_workload  # noqa: E402
 from repro.metrics.report import format_table  # noqa: E402
@@ -122,6 +123,9 @@ def run_engine_benchmark(rows_per_input: int, repeat: int = 2) -> dict:
             "worker_overlap": best.speedup,
         }
     record["output"] = reference_output
+    record["observability"] = measure_instrumentation_overhead(
+        s, t, condition, cache, repeat=max(3, repeat)
+    )
     fastest = min(record["backends"], key=lambda b: record["backends"][b]["execution_seconds"])
     record["fastest_backend"] = fastest
     record["parallel_beats_serial"] = any(
@@ -133,6 +137,37 @@ def run_engine_benchmark(rows_per_input: int, repeat: int = 2) -> dict:
             "serial reference here; re-run on a multi-core machine for the speedup"
         )
     return record
+
+
+def measure_instrumentation_overhead(s, t, condition, cache, repeat: int = 3) -> dict:
+    """Time the serial engine with telemetry off vs. on (best of ``repeat``).
+
+    Both runs share the warmed plan cache, so the measurement isolates the
+    per-join instrumentation cost: span bookkeeping in the engine stages and
+    the kernel profiling hooks.  The ISSUE budget is < 3% overhead.
+    """
+    was_enabled = obs.is_enabled()
+    engine = ParallelJoinEngine(backend="serial", plan_cache=cache)
+    timings: dict[bool, float] = {False: None, True: None}
+    try:
+        # Interleave off/on runs so drift in machine load (page cache, other
+        # processes) hits both configurations equally, and keep the best of
+        # each: best-of-N is robust against one-sided slow outliers.
+        for _ in range(max(1, repeat)):
+            for enabled in (False, True):
+                (obs.enable if enabled else obs.disable)()
+                seconds = engine.join(s, t, condition, workers=WORKERS).execution_seconds
+                if timings[enabled] is None or seconds < timings[enabled]:
+                    timings[enabled] = seconds
+    finally:
+        (obs.enable if was_enabled else obs.disable)()
+        obs.tracer().clear()
+    disabled, enabled = timings[False], timings[True]
+    return {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_fraction": (enabled - disabled) / disabled if disabled else 0.0,
+    }
 
 
 def render(record: dict) -> str:
@@ -153,9 +188,17 @@ def render(record: dict) -> str:
         f"(|S|=|T|={record['workload']['rows_per_input']:,}, w={WORKERS}, "
         f"{record['machine']['cpus']} CPUs, fastest: {record['fastest_backend']})"
     )
-    return format_table(
+    table = format_table(
         ["backend", "output", "route [s]", "exec [s]", "vs serial", "overlap"], rows, title=title
     )
+    overhead = record.get("observability")
+    if overhead:
+        table += (
+            f"\ntelemetry overhead (serial): off={overhead['disabled_seconds']:.4f}s "
+            f"on={overhead['enabled_seconds']:.4f}s "
+            f"({overhead['overhead_fraction'] * 100:+.2f}%)"
+        )
+    return table
 
 
 def record_path() -> Path:

@@ -1,0 +1,147 @@
+"""End-to-end observability smoke check against a real server process.
+
+Starts ``python -m repro serve`` (stdio transport) as a subprocess, drives
+it through the line protocol — register, prepare, query twice, then scrape
+``stats``, ``metrics``, and ``trace`` — and asserts the telemetry surface
+holds together:
+
+* every response parses and reports ``ok: true``,
+* ``stats`` carries the scheduler snapshot with the expected counts,
+* the Prometheus exposition parses line by line and contains the kernel,
+  scheduler, and cache metric families,
+* each query trace is a well-formed span tree whose direct children account
+  for the root's duration within 10% (the ISSUE acceptance criterion).
+
+Writes the captured traces to ``TRACE_observability.json`` so CI can upload
+them as an artifact.  Exits non-zero on any violation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/smoke_observability.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "TRACE_observability.json"
+
+ROWS = 4000
+
+
+def build_requests() -> list[dict]:
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    return [
+        {"op": "ping"},
+        {"op": "register", "name": "S", "columns": {"A1": rng.uniform(0, 1, ROWS).tolist()}},
+        {"op": "register", "name": "T", "columns": {"A1": rng.uniform(0, 1, ROWS).tolist()}},
+        {"op": "prepare", "query": "near", "s": "S", "t": "T",
+         "attributes": ["A1"], "epsilons": [0.01]},
+        {"op": "query", "query": "near"},
+        {"op": "query", "query": "near", "epsilons": [0.02]},
+        {"op": "stats"},
+        {"op": "metrics"},
+        {"op": "trace", "n": 4},
+        {"op": "quit"},
+    ]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        raise SystemExit(1)
+
+
+def validate_prometheus(text: str) -> int:
+    samples = 0
+    for line in text.strip().splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            check(line.startswith(("# HELP ", "# TYPE ")),
+                  f"malformed comment line: {line!r}")
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        check(bool(name_and_labels), f"malformed sample line: {line!r}")
+        try:
+            float(value)
+        except ValueError:
+            check(False, f"non-numeric sample value: {line!r}")
+        samples += 1
+    for family in ("repro_scheduler_events_total", "repro_kernel_invocations_total",
+                   "repro_plan_cache_entries", "repro_result_cache_hits"):
+        check(family in text, f"metric family {family} missing from exposition")
+    return samples
+
+
+def span_tree_ok(trace: dict) -> float:
+    """Validate one trace tree; return the child/root duration ratio."""
+    root = trace["root"]
+    check(root["name"] == "request", f"unexpected root span {root['name']!r}")
+    check(root["duration"] > 0, "root span has no duration")
+    names = [child["name"] for child in root["children"]]
+    check("parse" in names, "request trace lost its parse child")
+    check("query" in names, "request trace lost its query child")
+    query = next(c for c in root["children"] if c["name"] == "query")
+    stage_names = {c["name"] for c in query["children"]}
+    check("execute" in stage_names, "query trace lost its execute stage")
+    child_sum = sum(child["duration"] for child in root["children"])
+    return child_sum / root["duration"]
+
+
+def main() -> int:
+    requests = build_requests()
+    payload = "".join(json.dumps(request) + "\n" for request in requests)
+
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--backend", "threads"],
+        input=payload, capture_output=True, text=True, timeout=300,
+        env=env, cwd=ROOT,
+    )
+    check(proc.returncode == 0,
+          f"server exited with {proc.returncode}: {proc.stderr[-2000:]}")
+
+    responses = [json.loads(line) for line in proc.stdout.strip().splitlines()]
+    check(responses and responses[0].get("op") == "ready", "missing ready banner")
+    responses = responses[1:]
+    check(len(responses) == len(requests),
+          f"expected {len(requests)} responses, got {len(responses)}")
+    for request, response in zip(requests, responses):
+        check(response.get("ok") is True,
+              f"{request['op']} failed: {response.get('error')}")
+
+    by_op = dict(zip((request["op"] for request in requests), responses))
+
+    scheduler = by_op["stats"]["stats"]["scheduler"]
+    check(by_op["stats"]["stats"]["telemetry"] is True, "telemetry not enabled in serve mode")
+    check(scheduler["submitted"] == 2, f"expected 2 submissions, saw {scheduler['submitted']}")
+    check(scheduler["completed"] == 2, f"expected 2 completions, saw {scheduler['completed']}")
+
+    samples = validate_prometheus(by_op["metrics"]["metrics"])
+    print(f"prometheus exposition: {samples} samples parsed")
+
+    traces = by_op["trace"]["traces"]
+    check(len(traces) == 2, f"expected 2 query traces, got {len(traces)}")
+    for trace in traces:
+        ratio = span_tree_ok(trace)
+        print(f"trace {trace['trace_id']}: {trace['spans']} spans, "
+              f"child/root duration ratio {ratio:.3f}")
+        check(0.90 <= ratio <= 1.10,
+              f"span durations do not account for wall time (ratio {ratio:.3f})")
+
+    OUT_PATH.write_text(json.dumps({"traces": traces}, indent=2) + "\n")
+    print(f"wrote {OUT_PATH.name} ({len(traces)} traces)")
+    print("observability smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Telemetry walkthrough: trace trees, the metrics registry, Prometheus text.
+
+Runs a small served band join with telemetry enabled and prints the three
+observability surfaces the repo exposes:
+
+1. a per-query **trace tree** (queue → execute → plan/route/local_join/merge,
+   with kernel records nested under the stages that invoked them),
+2. the structured **stats snapshot** the scheduler and caches feed, and
+3. an excerpt of the **Prometheus text exposition** (the same text served by
+   ``{"op": "metrics"}`` and ``repro-bandjoin stats --prometheus``).
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import ServiceConfig  # noqa: E402
+from repro.data.generators import correlated_pair  # noqa: E402
+from repro.obs import format_trace_tree  # noqa: E402
+from repro.service import BandJoinService  # noqa: E402
+
+
+def main() -> int:
+    rows = 20_000
+    s, t = correlated_pair(rows, rows, dimensions=2, z=1.5, seed=7)
+
+    # ServiceConfig(telemetry=True) is the serving default: the library keeps
+    # telemetry off until a service (or REPRO_TELEMETRY=1) switches it on.
+    config = ServiceConfig(backend="threads", compaction="sync")
+    with BandJoinService(config) as service:
+        service.register("S", s)
+        service.register("T", t)
+        service.prepare("near", "S", "T", attributes=["A1", "A2"], epsilons=0.01)
+
+        cold = service.query("near")            # full optimize + parallel join
+        warm = service.query("near", 0.02)      # same prepared query, wider band
+        print(f"cold query: {cold.n_pairs:,} pairs in {cold.seconds * 1e3:.1f} ms")
+        print(f"warm query: {warm.n_pairs:,} pairs in {warm.seconds * 1e3:.1f} ms")
+
+        print("\n=== 1. trace tree of the cold query ===")
+        traces = service.traces(2)
+        print(format_trace_tree(traces[-1]))
+
+        print("=== 2. stats snapshot (scheduler + caches) ===")
+        stats = service.stats()
+        print(json.dumps({
+            "telemetry": stats["telemetry"],
+            "scheduler": stats["scheduler"],
+            "plan_cache": stats["plan_cache"],
+        }, indent=2, default=str))
+
+        print("\n=== 3. Prometheus exposition (kernel + scheduler excerpt) ===")
+        interesting = ("repro_kernel_invocations", "repro_kernel_expansion",
+                       "repro_scheduler_events", "repro_plan_cache",
+                       "repro_result_cache")
+        for line in service.prometheus().splitlines():
+            if line.startswith("#"):
+                continue
+            if any(line.startswith(prefix) for prefix in interesting):
+                print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,11 @@ Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
 * ``figure4``    — reproduce the overhead scatter of Figures 4 / 10.
 * ``calibrate``  — calibrate the running-time model on this machine and print it.
 * ``serve``      — run the band-join serving layer (JSON lines on stdio or TCP).
+* ``stats``      — query a running TCP server's live stats / metrics / traces.
 * ``list``       — list the available tables and workload families.
+
+``-v`` / ``-vv`` (global) raise the log level to INFO / DEBUG
+(``REPRO_LOG_LEVEL`` sets the default).
 """
 
 from __future__ import annotations
@@ -29,6 +33,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Near-Optimal Distributed Band-Joins through Recursive "
             "Partitioning' (SIGMOD 2020)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v: INFO, -vv: DEBUG)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -129,6 +140,29 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="reject queries whose estimated output exceeds this many pairs",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable tracing spans and kernel profiling (metrics counters stay on)",
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="query a running TCP server's live stats surface"
+    )
+    stats.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    stats.add_argument("--port", type=int, required=True, help="server TCP port")
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of the JSON stats",
+    )
+    stats.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also pretty-print the N most recent query traces",
     )
 
     subparsers.add_parser("list", help="list available tables and workloads")
@@ -295,6 +329,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         overrides["local_algorithm"] = args.local_algorithm
     if args.max_estimated_pairs is not None:
         overrides["max_estimated_pairs"] = args.max_estimated_pairs
+    if args.no_telemetry:
+        overrides["telemetry"] = False
     service = BandJoinService(config=ServiceConfig(**overrides))
     with service:
         if args.port is None:
@@ -314,6 +350,53 @@ def _command_serve(args: argparse.Namespace) -> int:
         finally:
             server.shutdown()
             server.server_close()
+    return 0
+
+
+def _request_line(sock_file_r, sock_file_w, payload: dict) -> dict:
+    """One JSON-line round trip over a connected socket file pair."""
+    import json
+
+    sock_file_w.write((json.dumps(payload) + "\n").encode())
+    sock_file_w.flush()
+    raw = sock_file_r.readline()
+    if not raw:
+        raise ConnectionError("server closed the connection")
+    return json.loads(raw.decode("utf-8", "replace"))
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import json
+    import socket
+
+    from repro.obs import format_trace_tree
+
+    with socket.create_connection((args.host, args.port), timeout=30) as sock:
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+        if args.prometheus:
+            response = _request_line(reader, writer, {"op": "metrics"})
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}")
+                return 1
+            print(response["metrics"], end="")
+        else:
+            response = _request_line(reader, writer, {"op": "stats"})
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}")
+                return 1
+            print(json.dumps(response["stats"], indent=2, sort_keys=True))
+        if args.trace > 0:
+            response = _request_line(reader, writer, {"op": "trace", "n": args.trace})
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}")
+                return 1
+            traces = response.get("traces", [])
+            if not traces:
+                print("\nno finished traces yet")
+            for trace in traces:
+                print()
+                print(format_trace_tree(trace))
     return 0
 
 
@@ -340,6 +423,9 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-bandjoin`` command."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    from repro.obs import setup_logging
+
+    setup_logging(verbosity=args.verbose)
     handlers = {
         "demo": _command_demo,
         "engine": _command_engine,
@@ -347,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure4": _command_figure4,
         "calibrate": _command_calibrate,
         "serve": _command_serve,
+        "stats": _command_stats,
         "list": _command_list,
     }
     return handlers[args.command](args)

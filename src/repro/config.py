@@ -211,6 +211,11 @@ class ServiceConfig:
         Output-size admission control: a query whose cheap sampled output
         estimate exceeds this is rejected at submit time instead of tying a
         scheduler worker to a runaway dispatch.  ``None`` disables it.
+    telemetry:
+        Turn the process-wide telemetry switch on when the service starts
+        (tracing spans, kernel profiling).  The library default is off;
+        serving turns it on because a long-running server is exactly where
+        the live stats surface pays for its (small) overhead.
     """
 
     backend: str = "threads"
@@ -225,6 +230,7 @@ class ServiceConfig:
     local_algorithm: str = DEFAULT_LOCAL_ALGORITHM
     kernel_memory_budget: int = DEFAULT_KERNEL_MEMORY_BUDGET
     max_estimated_pairs: int | None = None
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:

@@ -37,6 +37,7 @@ from repro.engine.shared import SharedStoreDescriptor, SharedTaskReader, SharedT
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
 from repro.local_join.base import LocalJoinAlgorithm
+from repro.obs.tracing import SpanContext, span_record
 
 
 @dataclass
@@ -47,6 +48,9 @@ class TaskOutcome:
     join was materialised, ``None`` otherwise.  ``local_seconds`` times the
     local join itself (gathering the task's input copies is excluded, so the
     value is comparable to the simulated cluster's per-worker accounting).
+    ``spans`` carries plain span-record dicts produced when a trace context
+    was propagated into the task — picklable, so they survive the process
+    boundary and the engine grafts them onto the live trace afterwards.
     """
 
     worker_id: int
@@ -54,6 +58,7 @@ class TaskOutcome:
     output: int
     local_seconds: float
     pairs: np.ndarray | None = None
+    spans: list | None = None
 
 
 def execute_task(
@@ -63,6 +68,7 @@ def execute_task(
     condition: BandCondition,
     algorithm: LocalJoinAlgorithm,
     materialize: bool,
+    trace_ctx: SpanContext | None = None,
 ) -> TaskOutcome:
     """Run one worker task against the given join matrices."""
     if task.s_rows.size == 0 or task.t_rows.size == 0:
@@ -73,6 +79,8 @@ def execute_task(
             local_seconds=0.0,
             pairs=np.empty((0, 2), dtype=np.int64) if materialize else None,
         )
+    task_wall = time.time() if trace_ctx is not None else 0.0
+    task_start = time.perf_counter()
     worker_s, worker_t = gather_task_inputs(task, s_matrix, t_matrix)
     join_start = time.perf_counter()
     if materialize:
@@ -89,12 +97,28 @@ def execute_task(
         output = int(algorithm.count(worker_s, worker_t, condition))
         local_seconds = time.perf_counter() - join_start
         pairs = None
+    spans = None
+    if trace_ctx is not None:
+        spans = [
+            span_record(
+                "task",
+                parent=trace_ctx,
+                start=task_wall,
+                duration=time.perf_counter() - task_start,
+                worker_id=task.worker_id,
+                units=task.n_units,
+                output=output,
+                algorithm=getattr(algorithm, "name", type(algorithm).__name__),
+                pid=os.getpid(),
+            )
+        ]
     return TaskOutcome(
         worker_id=task.worker_id,
         n_units=task.n_units,
         output=output,
         local_seconds=local_seconds,
         pairs=pairs,
+        spans=spans,
     )
 
 
@@ -134,8 +158,14 @@ class ExecutionBackend(abc.ABC):
         condition: BandCondition,
         algorithm: LocalJoinAlgorithm,
         materialize: bool,
+        trace_ctx: SpanContext | None = None,
     ) -> list[TaskOutcome]:
-        """Execute every task and return the outcomes in task order."""
+        """Execute every task and return the outcomes in task order.
+
+        ``trace_ctx`` optionally identifies the enclosing telemetry span;
+        backends pass it into :func:`execute_task` so every task produces a
+        child span record (shipped back in :attr:`TaskOutcome.spans`).
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -159,10 +189,16 @@ class SerialBackend(ExecutionBackend):
             raise ExecutionError("memory_budget must be positive")
         self.memory_budget = memory_budget
 
-    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+    def run(
+        self, tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+        trace_ctx=None,
+    ):
         algorithm = self._budgeted(algorithm, concurrency=1)
         return [
-            execute_task(task, s_matrix, t_matrix, condition, algorithm, materialize)
+            execute_task(
+                task, s_matrix, t_matrix, condition, algorithm, materialize,
+                trace_ctx=trace_ctx,
+            )
             for task in tasks
         ]
 
@@ -188,19 +224,24 @@ class ThreadPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.memory_budget = memory_budget
 
-    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+    def run(
+        self, tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+        trace_ctx=None,
+    ):
         if not tasks:
             return []
         pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
         if pool_size <= 1:
             return SerialBackend(memory_budget=self.memory_budget).run(
-                tasks, s_matrix, t_matrix, condition, algorithm, materialize
+                tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+                trace_ctx=trace_ctx,
             )
         algorithm = self._budgeted(algorithm, concurrency=pool_size)
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             futures = [
                 pool.submit(
-                    execute_task, task, s_matrix, t_matrix, condition, algorithm, materialize
+                    execute_task, task, s_matrix, t_matrix, condition,
+                    algorithm, materialize, trace_ctx=trace_ctx,
                 )
                 for task in tasks
             ]
@@ -217,11 +258,13 @@ def _process_initializer(
     condition: BandCondition,
     algorithm: LocalJoinAlgorithm,
     materialize: bool,
+    trace_ctx: SpanContext | None = None,
 ) -> None:
     _PROCESS_STATE["reader"] = SharedTaskReader(descriptor)
     _PROCESS_STATE["condition"] = condition
     _PROCESS_STATE["algorithm"] = algorithm
     _PROCESS_STATE["materialize"] = materialize
+    _PROCESS_STATE["trace_ctx"] = trace_ctx
 
 
 def _process_run_task(index: int) -> TaskOutcome:
@@ -233,6 +276,7 @@ def _process_run_task(index: int) -> TaskOutcome:
         _PROCESS_STATE["condition"],
         _PROCESS_STATE["algorithm"],
         _PROCESS_STATE["materialize"],
+        trace_ctx=_PROCESS_STATE.get("trace_ctx"),
     )
 
 
@@ -268,7 +312,10 @@ class ProcessPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.memory_budget = memory_budget
 
-    def run(self, tasks, s_matrix, t_matrix, condition, algorithm, materialize):
+    def run(
+        self, tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+        trace_ctx=None,
+    ):
         if not tasks:
             return []
         pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
@@ -277,7 +324,10 @@ class ProcessPoolBackend(ExecutionBackend):
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 initializer=_process_initializer,
-                initargs=(store.descriptor, condition, algorithm, materialize),
+                initargs=(
+                    store.descriptor, condition, algorithm, materialize,
+                    trace_ctx,
+                ),
             ) as pool:
                 return list(pool.map(_process_run_task, range(len(tasks))))
 

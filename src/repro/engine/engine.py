@@ -45,6 +45,9 @@ from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
 from repro.local_join import get_local_algorithm
 from repro.local_join.base import LocalJoinAlgorithm
+from repro.obs import get_logger, tracer
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -222,44 +225,60 @@ class ParallelJoinEngine:
         t_matrix = t.join_matrix(condition.attributes)
 
         routing_start = time.perf_counter()
-        s_routed = route_side(partitioning, s_matrix, "S")
-        t_routed = route_side(partitioning, t_matrix, "T")
-        offset_step = unit_offset_step(s_matrix, t_matrix, condition)
-        tasks = build_worker_tasks(partitioning, s_routed, t_routed, offset_step)
+        with tracer().span("route", workers=partitioning.workers):
+            s_routed = route_side(partitioning, s_matrix, "S")
+            t_routed = route_side(partitioning, t_matrix, "T")
+            offset_step = unit_offset_step(s_matrix, t_matrix, condition)
+            tasks = build_worker_tasks(partitioning, s_routed, t_routed, offset_step)
         routing_seconds = time.perf_counter() - routing_start
 
         execution_start = time.perf_counter()
-        outcomes = self.backend.run(
-            tasks, s_matrix, t_matrix, condition, self.algorithm, materialize
-        )
+        with tracer().span(
+            "local_join", backend=self.backend.name, tasks=len(tasks)
+        ) as join_span:
+            outcomes = self.backend.run(
+                tasks, s_matrix, t_matrix, condition, self.algorithm, materialize,
+                trace_ctx=join_span.context,
+            )
+            for outcome in outcomes:
+                if outcome.spans:
+                    tracer().attach(join_span.context, outcome.spans)
         execution_seconds = time.perf_counter() - execution_start
 
-        worker_stats = [WorkerStats(worker_id=i) for i in range(partitioning.workers)]
-        s_counts = worker_input_counts(partitioning, s_routed)
-        t_counts = worker_input_counts(partitioning, t_routed)
-        for stats in worker_stats:
-            stats.input_s = int(s_counts[stats.worker_id])
-            stats.input_t = int(t_counts[stats.worker_id])
-        pair_chunks: list[np.ndarray] = []
-        for outcome in outcomes:
-            stats = worker_stats[outcome.worker_id]
-            stats.units += outcome.n_units
-            stats.output += outcome.output
-            stats.local_seconds += outcome.local_seconds
-            if materialize and outcome.pairs is not None and outcome.pairs.size:
-                pair_chunks.append(outcome.pairs)
-        job = JobStats(
-            workers=worker_stats,
-            total_output=sum(w.output for w in worker_stats),
-            baseline_input=len(s) + len(t),
-        )
-        pairs: np.ndarray | None = None
-        if materialize:
-            pairs = (
-                np.concatenate(pair_chunks)
-                if pair_chunks
-                else np.empty((0, 2), dtype=np.int64)
+        with tracer().span("merge"):
+            worker_stats = [
+                WorkerStats(worker_id=i) for i in range(partitioning.workers)
+            ]
+            s_counts = worker_input_counts(partitioning, s_routed)
+            t_counts = worker_input_counts(partitioning, t_routed)
+            for stats in worker_stats:
+                stats.input_s = int(s_counts[stats.worker_id])
+                stats.input_t = int(t_counts[stats.worker_id])
+            pair_chunks: list[np.ndarray] = []
+            for outcome in outcomes:
+                stats = worker_stats[outcome.worker_id]
+                stats.units += outcome.n_units
+                stats.output += outcome.output
+                stats.local_seconds += outcome.local_seconds
+                if materialize and outcome.pairs is not None and outcome.pairs.size:
+                    pair_chunks.append(outcome.pairs)
+            job = JobStats(
+                workers=worker_stats,
+                total_output=sum(w.output for w in worker_stats),
+                baseline_input=len(s) + len(t),
             )
+            pairs: np.ndarray | None = None
+            if materialize:
+                pairs = (
+                    np.concatenate(pair_chunks)
+                    if pair_chunks
+                    else np.empty((0, 2), dtype=np.int64)
+                )
+        logger.debug(
+            "executed %d tasks on %s: output=%d exec=%.4fs route=%.4fs",
+            len(tasks), self.backend.name, job.total_output,
+            execution_seconds, routing_seconds,
+        )
         return EngineResult(
             backend=self.backend.name,
             partitioning=partitioning,
@@ -295,9 +314,11 @@ class ParallelJoinEngine:
             from repro.core.recpart import RecPartPartitioner
 
             partitioner = RecPartPartitioner(weights=self.weights)
-        partitioning, cached = self.plan_cache.get_or_build(
-            partitioner, s, t, condition, workers, rng=rng
-        )
+        with tracer().span("plan", workers=workers) as plan_span:
+            partitioning, cached = self.plan_cache.get_or_build(
+                partitioner, s, t, condition, workers, rng=rng
+            )
+            plan_span.set(cached=cached, method=partitioning.method)
         result = self.execute(s, t, condition, partitioning, materialize=materialize)
         result.plan_from_cache = cached
         return result

@@ -25,12 +25,14 @@ for each t, a rank interval of S) — only the asymmetric epsilon widths swap.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 
 import numpy as np
 
 from repro.geometry.band import BandCondition
 from repro.local_join.base import empty_pairs
+from repro.obs.kernelprof import kernel_profile_start, publish_kernel_profile
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET",
@@ -164,6 +166,7 @@ def _iter_matches(
     dim: int,
     probe_is_s: bool,
     candidate_cap: int,
+    profile: dict | None = None,
 ):
     """Yield fully verified ``(probe_pos, window_pos)`` chunks.
 
@@ -203,6 +206,8 @@ def _iter_matches(
             for i in range(d):
                 if i == dim:
                     continue
+                if profile is not None:
+                    profile["resort_probes"] += 1
                 sort_idx = np.argsort(sorted_side[lo:hi, i], kind="stable")
                 column = sorted_side[lo:hi, i][sort_idx]
                 below, above = _oriented_widths(eps_left, eps_right, i, probe_is_s)
@@ -220,9 +225,16 @@ def _iter_matches(
                     window_lows = alt_lows
                     window_counts = alt_counts
                     slice_map = sort_idx
+        if profile is not None and slice_map is not None:
+            profile["resort_wins"] += 1
         for probe_local, window_local in iter_window_candidates(
             window_lows, window_counts, candidate_cap
         ):
+            if profile is not None:
+                profile["chunks"] += 1
+                profile["candidates"] += int(probe_local.size)
+                if probe_local.size > profile["max_chunk"]:
+                    profile["max_chunk"] = int(probe_local.size)
             probe_pos = probe_local + start
             if slice_map is not None:
                 window_pos = slice_map[window_local] + lo
@@ -243,6 +255,8 @@ def _iter_matches(
                 window_pos = window_pos[keep]
                 if probe_pos.size == 0:
                     continue
+            if profile is not None:
+                profile["pairs"] += int(probe_pos.size)
             yield probe_pos, window_pos
 
 
@@ -279,12 +293,22 @@ def interval_count(
     probe_arr, sorted_arr = (s_arr, t_arr) if probe_is_s else (t_arr, s_arr)
     if probe_arr.shape[0] == 0 or sorted_arr.shape[0] == 0:
         return 0
+    profile = kernel_profile_start()
+    if profile is not None:
+        wall, t0 = time.time(), time.perf_counter()
     below, above = _oriented(condition, dim, probe_is_s)
     if condition.dimensionality == 1:
         keys = np.sort(sorted_arr[:, dim])
         # Sorted probes keep the binary searches cache-local (~5x faster).
         lows, highs = window_bounds(keys, np.sort(probe_arr[:, dim]), below, above)
-        return int((highs - lows).sum())
+        total = int((highs - lows).sum())
+        if profile is not None:
+            profile["pairs"] = total
+            publish_kernel_profile(
+                profile, "count", 1, max_candidates(memory_budget),
+                time.perf_counter() - t0, start=wall,
+            )
+        return total
 
     sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
     sorted_side = sorted_arr[sorted_order]
@@ -302,8 +326,14 @@ def interval_count(
         dim,
         probe_is_s,
         max_candidates(memory_budget),
+        profile=profile,
     ):
         total += int(probe_pos.size)
+    if profile is not None:
+        publish_kernel_profile(
+            profile, "count", int(probe_arr.shape[1]),
+            max_candidates(memory_budget), time.perf_counter() - t0, start=wall,
+        )
     return total
 
 
@@ -326,6 +356,9 @@ def interval_join(
     probe_arr, sorted_arr = (s_arr, t_arr) if probe_is_s else (t_arr, s_arr)
     if probe_arr.shape[0] == 0 or sorted_arr.shape[0] == 0:
         return empty_pairs()
+    profile = kernel_profile_start()
+    if profile is not None:
+        wall, t0 = time.time(), time.perf_counter()
     below, above = _oriented(condition, dim, probe_is_s)
 
     sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
@@ -343,12 +376,24 @@ def interval_join(
         counts = highs - lows
         total = int(counts.sum())
         if total == 0:
-            return empty_pairs()
-        shifts = lows - (np.cumsum(counts) - counts)
-        window_pos = np.repeat(shifts, counts) + np.arange(total, dtype=np.int64)
-        pairs = np.empty((total, 2), dtype=np.int64)
-        pairs[:, 0 if probe_is_s else 1] = np.repeat(probe_order, counts)
-        pairs[:, 1 if probe_is_s else 0] = sorted_order[window_pos]
+            pairs = empty_pairs()
+        else:
+            shifts = lows - (np.cumsum(counts) - counts)
+            window_pos = np.repeat(shifts, counts) + np.arange(
+                total, dtype=np.int64
+            )
+            pairs = np.empty((total, 2), dtype=np.int64)
+            pairs[:, 0 if probe_is_s else 1] = np.repeat(probe_order, counts)
+            pairs[:, 1 if probe_is_s else 0] = sorted_order[window_pos]
+        if profile is not None:
+            profile["chunks"] = 1 if total else 0
+            profile["candidates"] = total
+            profile["pairs"] = total
+            profile["max_chunk"] = total
+            publish_kernel_profile(
+                profile, "join", 1, max_candidates(memory_budget),
+                time.perf_counter() - t0, start=wall,
+            )
         return pairs
 
     probe_order = np.argsort(probe_arr[:, dim], kind="stable")
@@ -365,6 +410,7 @@ def interval_join(
         dim,
         probe_is_s,
         max_candidates(memory_budget),
+        profile=profile,
     ):
         probe_idx = probe_order[probe_pos]
         window_idx = sorted_order[window_pos]
@@ -372,6 +418,13 @@ def interval_join(
             chunks.append(np.column_stack([probe_idx, window_idx]))
         else:
             chunks.append(np.column_stack([window_idx, probe_idx]))
-    if not chunks:
-        return empty_pairs()
-    return np.concatenate(chunks).astype(np.int64, copy=False)
+    if chunks:
+        pairs = np.concatenate(chunks).astype(np.int64, copy=False)
+    else:
+        pairs = empty_pairs()
+    if profile is not None:
+        publish_kernel_profile(
+            profile, "join", int(probe_arr.shape[1]),
+            max_candidates(memory_budget), time.perf_counter() - t0, start=wall,
+        )
+    return pairs

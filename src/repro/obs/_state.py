@@ -1,0 +1,35 @@
+"""Global telemetry switch.
+
+The flag gates the *implicit* instrumentation hot paths pay for — tracing
+spans and kernel profiling.  Explicit accounting (registry counters owned by
+the scheduler, caches, etc.) is always on: those calls are made deliberately
+by their owners and cost a dictionary update.
+
+Disabled is the library default so embedding the kernels costs nothing; the
+serving layer enables telemetry on construction (``ServiceConfig.telemetry``)
+and the ``REPRO_TELEMETRY`` environment variable enables it process-wide.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Process-wide telemetry switch, read directly by the hot-path guards.
+enabled: bool = os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "on", "yes")
+
+
+def is_enabled() -> bool:
+    """Return whether implicit instrumentation (tracing, profiling) is on."""
+    return enabled
+
+
+def enable() -> None:
+    """Turn implicit instrumentation on process-wide."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn implicit instrumentation off process-wide (the library default)."""
+    global enabled
+    enabled = False

@@ -1,0 +1,76 @@
+"""Structured :mod:`logging` wiring for the ``repro`` namespace.
+
+Every module logs through ``get_logger(__name__)``; nothing is emitted until
+:func:`setup_logging` installs a handler (so the library stays silent when
+embedded).  The level resolves, in order, from an explicit argument, the
+``REPRO_LOG_LEVEL`` environment variable, and the ``WARNING`` default; the
+CLI maps ``-v`` → INFO and ``-vv`` → DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "setup_logging", "resolve_level"]
+
+#: Environment variable consulted for the default log level.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(level: int | str | None = None, verbosity: int = 0) -> int:
+    """Resolve the effective level from an argument, ``-v`` count, or env."""
+    if level is not None:
+        if isinstance(level, str):
+            resolved = logging.getLevelName(level.strip().upper())
+            if not isinstance(resolved, int):
+                raise ValueError(f"unknown log level {level!r}")
+            return resolved
+        return int(level)
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    env = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if env:
+        resolved = logging.getLevelName(env.upper())
+        if isinstance(resolved, int):
+            return resolved
+    return logging.WARNING
+
+
+def setup_logging(
+    level: int | str | None = None,
+    verbosity: int = 0,
+    stream=None,
+) -> logging.Logger:
+    """Install (or update) one stderr handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers.  Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    resolved = resolve_level(level, verbosity)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_obs", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler._repro_obs = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

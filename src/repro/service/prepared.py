@@ -38,7 +38,13 @@ from repro.exceptions import ServiceError
 from repro.geometry.band import BandCondition
 from repro.service.catalog import RelationCatalog, RelationSnapshot
 
-__all__ = ["QueryResult", "PreparedQuery", "PreparedQueryStats", "gather_rows"]
+__all__ = [
+    "QueryResult",
+    "PreparedQuery",
+    "PreparedQueryStats",
+    "ResultCacheStats",
+    "gather_rows",
+]
 
 #: Execution paths a query can take, slowest to fastest.
 PATH_COLD = "cold"                  # optimize + full join
@@ -87,6 +93,32 @@ class QueryResult:
         if sample > 0:
             info["sample"] = self.pairs[:sample].tolist()
         return info
+
+
+@dataclass
+class ResultCacheStats:
+    """Accounting of one prepared query's materialized-result caches.
+
+    Covers both LRU maps (full results and base results): ``hits``/``misses``
+    count execute-path lookups, ``stores`` inserts, ``evictions`` capacity
+    drops, and ``invalidations`` entries dropped by :meth:`PreparedQuery.invalidate`
+    (i.e. append-driven flushes).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
 
 
 @dataclass
@@ -177,6 +209,7 @@ class PreparedQuery:
             None if default_epsilons is None else self._normalize(default_epsilons)
         )
         self.stats = PreparedQueryStats()
+        self.result_cache_stats = ResultCacheStats()
         #: Stable identity used by the scheduler for single-flight dedup and
         #: micro-batch grouping: equal keys answer from the same caches.
         self.key = (s_name, t_name, self.attributes, self.workers, partitioner.name)
@@ -276,6 +309,9 @@ class PreparedQuery:
             hit = self._results.get(full_key)
             if hit is not None:
                 self._results.move_to_end(full_key)
+                self.result_cache_stats.hits += 1
+            else:
+                self.result_cache_stats.misses += 1
         if hit is not None:
             self.stats.record(PATH_RESULT_CACHE)
             return replace(
@@ -418,6 +454,9 @@ class PreparedQuery:
             cached = self._base_results.get(base_key)
             if cached is not None:
                 self._base_results.move_to_end(base_key)
+                self.result_cache_stats.hits += 1
+            else:
+                self.result_cache_stats.misses += 1
         if cached is not None:
             return cached, True
         engine_result = self.engine.join(
@@ -443,8 +482,10 @@ class PreparedQuery:
         )
         with self._lock:
             self._base_results[base_key] = result
+            self.result_cache_stats.stores += 1
             while len(self._base_results) > self.result_cache_size:
                 self._base_results.popitem(last=False)
+                self.result_cache_stats.evictions += 1
         return result, False
 
     # ------------------------------------------------------------------ #
@@ -457,12 +498,17 @@ class PreparedQuery:
         with self._lock:
             self._results[key] = result
             self._results.move_to_end(key)
+            self.result_cache_stats.stores += 1
             while len(self._results) > self.result_cache_size:
                 self._results.popitem(last=False)
+                self.result_cache_stats.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every cached result (full and base)."""
         with self._lock:
+            self.result_cache_stats.invalidations += len(self._results) + len(
+                self._base_results
+            )
             self._results.clear()
             self._base_results.clear()
 
@@ -486,6 +532,7 @@ class PreparedQuery:
             ),
             "cached_results": self.cached_results(),
             "stats": self.stats.as_dict(),
+            "result_cache": self.result_cache_stats.as_dict(),
         }
 
     def __repr__(self) -> str:

@@ -43,6 +43,14 @@ from dataclasses import dataclass, replace
 
 from repro.config import DEFAULT_MAX_BATCH, DEFAULT_MAX_PENDING, DEFAULT_SCHEDULER_WORKERS
 from repro.exceptions import ServiceError, ServiceOverloadError
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    NOOP_SPAN,
+    MetricsRegistry,
+    get_logger,
+    percentile,
+    tracer,
+)
 from repro.service.prepared import (
     PATH_MICRO_BATCH,
     PreparedQuery,
@@ -53,39 +61,95 @@ from repro.service.prepared import (
 
 __all__ = ["QueryScheduler", "SchedulerMetrics"]
 
+logger = get_logger(__name__)
+
 
 class SchedulerMetrics:
-    """Thread-safe counters and latency window of one scheduler."""
+    """Scheduler accounting, backed by an obs :class:`MetricsRegistry`.
 
-    def __init__(self, window: int = 2048) -> None:
+    Every counter lives in the registry (``repro_scheduler_*``), so one
+    Prometheus scrape of the owning registry sees them; the integer
+    properties (``submitted``, ``completed``, …) read the same counters for
+    existing callers.  Exact latency percentiles additionally keep a sliding
+    window of samples — registry histograms have fixed buckets, and the
+    serving API promised exact p50/p95/p99.
+    """
+
+    def __init__(self, window: int = 2048, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.deduplicated = 0
-        self.batched = 0
-        self.rejected = 0
-        self.paths: dict[str, int] = {}
+        self._events = self.registry.counter(
+            "repro_scheduler_events_total",
+            "scheduler lifecycle events (submitted/completed/...)",
+        )
+        self._paths = self.registry.counter(
+            "repro_scheduler_paths_total", "completed requests per execution path"
+        )
+        self._latency = self.registry.histogram(
+            "repro_scheduler_latency_seconds",
+            "request latency by stage",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
         self._latencies: deque = deque(maxlen=window)  # (queue_s, exec_s, total_s)
+
+    # -- write paths ---------------------------------------------------- #
+    def record_submitted(self) -> None:
+        self._events.inc(event="submitted")
+
+    def record_deduplicated(self) -> None:
+        self._events.inc(event="deduplicated")
+
+    def record_rejected(self) -> None:
+        self._events.inc(event="rejected")
+
+    def record_batched(self, count: int) -> None:
+        self._events.inc(count, event="batched")
 
     def record(self, path: str, queue_seconds: float, exec_seconds: float) -> None:
         """Record one completed request."""
+        self._events.inc(event="completed")
+        self._paths.inc(path=path)
+        total = queue_seconds + exec_seconds
+        self._latency.observe(queue_seconds, stage="queue")
+        self._latency.observe(exec_seconds, stage="exec")
+        self._latency.observe(total, stage="total")
         with self._lock:
-            self.completed += 1
-            self.paths[path] = self.paths.get(path, 0) + 1
-            self._latencies.append((queue_seconds, exec_seconds, queue_seconds + exec_seconds))
+            self._latencies.append((queue_seconds, exec_seconds, total))
 
     def record_failure(self) -> None:
-        with self._lock:
-            self.failed += 1
+        self._events.inc(event="failed")
 
-    @staticmethod
-    def _percentile(values: list, q: float) -> float:
-        if not values:
-            return 0.0
-        ordered = sorted(values)
-        index = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
-        return float(ordered[index])
+    # -- read paths (API-compatible with the pre-registry counters) ----- #
+    def _event(self, name: str) -> int:
+        return int(self._events.value(event=name))
+
+    @property
+    def submitted(self) -> int:
+        return self._event("submitted")
+
+    @property
+    def completed(self) -> int:
+        return self._event("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._event("failed")
+
+    @property
+    def deduplicated(self) -> int:
+        return self._event("deduplicated")
+
+    @property
+    def batched(self) -> int:
+        return self._event("batched")
+
+    @property
+    def rejected(self) -> int:
+        return self._event("rejected")
+
+    @property
+    def paths(self) -> dict[str, int]:
+        return {labels.get("path", ""): int(count) for labels, count in self._paths.items()}
 
     def latency_percentiles(self) -> dict:
         """Return p50/p95/p99 of total latency plus mean queue wait (seconds)."""
@@ -93,27 +157,33 @@ class SchedulerMetrics:
             totals = [total for _, _, total in self._latencies]
             queues = [queue for queue, _, _ in self._latencies]
         return {
-            "p50": self._percentile(totals, 50),
-            "p95": self._percentile(totals, 95),
-            "p99": self._percentile(totals, 99),
+            "p50": percentile(totals, 50),
+            "p95": percentile(totals, 95),
+            "p99": percentile(totals, 99),
             "mean_queue_seconds": sum(queues) / len(queues) if queues else 0.0,
             "samples": len(totals),
         }
 
     def snapshot(self) -> dict:
         """Return a JSON-friendly summary of every counter."""
-        with self._lock:
-            info = {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "deduplicated": self.deduplicated,
-                "batched": self.batched,
-                "rejected": self.rejected,
-                "paths": dict(self.paths),
-            }
+        info = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "deduplicated": self.deduplicated,
+            "batched": self.batched,
+            "rejected": self.rejected,
+            "paths": self.paths,
+        }
         info["latency"] = self.latency_percentiles()
         return info
+
+
+def _query_label(prepared) -> str:
+    """Human-readable label of a prepared query (tolerates test stubs)."""
+    return (
+        f"{getattr(prepared, 's_name', '?')}⋈{getattr(prepared, 't_name', '?')}"
+    )
 
 
 @dataclass
@@ -126,6 +196,8 @@ class _Request:
     future: Future
     submitted_at: float
     started_at: float = 0.0
+    submitted_wall: float = 0.0
+    span: object = NOOP_SPAN  # telemetry "query" span (NOOP when disabled)
 
 
 class QueryScheduler:
@@ -151,6 +223,7 @@ class QueryScheduler:
         max_pending: int = DEFAULT_MAX_PENDING,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_estimated_pairs: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -163,7 +236,7 @@ class QueryScheduler:
         self.max_pending = max_pending
         self.max_batch = max_batch
         self.max_estimated_pairs = max_estimated_pairs
-        self.metrics = SchedulerMetrics()
+        self.metrics = SchedulerMetrics(registry=registry)
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._queue: deque[_Request] = deque()
@@ -204,8 +277,11 @@ class QueryScheduler:
         # duplicate landing meanwhile is caught by the re-admission below.
         estimate = prepared.estimate_pairs(ekey)
         if estimate > self.max_estimated_pairs:
-            with self._work_ready:
-                self.metrics.rejected += 1
+            self.metrics.record_rejected()
+            logger.info(
+                "rejected %s: estimated %.0f pairs over limit %d",
+                _query_label(prepared), estimate, self.max_estimated_pairs,
+            )
             raise ServiceOverloadError(
                 f"estimated output of ~{estimate:,.0f} pairs exceeds the "
                 f"admission limit of {self.max_estimated_pairs:,} pairs; "
@@ -225,10 +301,11 @@ class QueryScheduler:
             raise ServiceError("scheduler is shut down")
         existing = self._inflight.get(key)
         if existing is not None:
-            self.metrics.deduplicated += 1
+            self.metrics.record_deduplicated()
             return existing.future
         if len(self._inflight) >= self.max_pending:
-            self.metrics.rejected += 1
+            self.metrics.record_rejected()
+            logger.info("rejected: scheduler saturated at %d pending", self.max_pending)
             raise ServiceOverloadError(
                 f"scheduler is saturated ({self.max_pending} pending queries); "
                 "retry once in-flight work drains"
@@ -243,10 +320,15 @@ class QueryScheduler:
             key=key,
             future=Future(),
             submitted_at=time.perf_counter(),
+            submitted_wall=time.time(),
+            # Root (or, under the server's request span, child) of this
+            # request's trace; ended by the worker thread after set_result
+            # readiness, or on failure/shutdown.
+            span=tracer().span("query", query=_query_label(prepared)),
         )
         self._inflight[key] = request
         self._queue.append(request)
-        self.metrics.submitted += 1
+        self.metrics.record_submitted()
         self._work_ready.notify()
         return request.future
 
@@ -295,14 +377,33 @@ class QueryScheduler:
 
     def _execute_batch(self, batch: list[_Request]) -> None:
         prepared = batch[0].prepared
+        head = batch[0]
+        for request in batch:
+            if request.span.context is not None:
+                tracer().record(
+                    "queue",
+                    request.span.context,
+                    start=request.submitted_wall,
+                    duration=max(0.0, request.started_at - request.submitted_at),
+                )
+        exec_wall = time.time()
+        exec_span = (
+            tracer().span("execute", parent=head.span.context, batch=len(batch))
+            if head.span.context is not None
+            else NOOP_SPAN
+        )
         try:
-            if len(batch) == 1:
-                results = [prepared.execute(batch[0].ekey)]
-            else:
-                results = self._dispatch_batch(prepared, batch)
+            with exec_span:
+                if len(batch) == 1:
+                    results = [prepared.execute(head.ekey)]
+                else:
+                    results = self._dispatch_batch(prepared, batch)
         except Exception as exc:  # noqa: BLE001 - failures propagate via futures
+            logger.warning("query %s failed: %s", _query_label(prepared), exc)
             for request in batch:
                 self.metrics.record_failure()
+                request.span.set(error=str(exc))
+                request.span.end()
                 request.future.set_exception(exc)
             return
         done = time.perf_counter()
@@ -312,9 +413,25 @@ class QueryScheduler:
                 queue_seconds=request.started_at - request.submitted_at,
                 exec_seconds=done - request.started_at,
             )
-            request.future.set_result(result)
         if len(batch) > 1:
-            self.metrics.batched += len(batch) - 1
+            self.metrics.record_batched(len(batch) - 1)
+        # Telemetry is finalised before the futures resolve: a caller ending
+        # the enclosing request span right after .result() must find every
+        # member's "query" span already ended.
+        for request, result in zip(batch, results):
+            if request is not head and request.span.context is not None:
+                tracer().record(
+                    "execute",
+                    request.span.context,
+                    start=exec_wall,
+                    duration=done - request.started_at,
+                    batched=True,
+                    path=result.path,
+                )
+            request.span.set(path=result.path)
+            request.span.end()
+        for request, result in zip(batch, results):
+            request.future.set_result(result)
 
     def _dispatch_batch(
         self, prepared: PreparedQuery, batch: list[_Request]
@@ -358,6 +475,8 @@ class QueryScheduler:
             self._queue.clear()
             for request in abandoned:
                 self._inflight.pop(request.key, None)
+                request.span.set(error="scheduler shut down")
+                request.span.end()
                 request.future.set_exception(ServiceError("scheduler shut down"))
             self._work_ready.notify_all()
         if wait:

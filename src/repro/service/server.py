@@ -18,17 +18,25 @@ Operations::
      "attributes": ["A1"], "epsilons": [0.01]}
     {"op": "query",    "query": "q", "epsilons": [0.02], "sample": 5}
     {"op": "catalog"} | {"op": "stats"} | {"op": "ping"} | {"op": "quit"}
+    {"op": "metrics"}           — Prometheus text exposition (one string)
+    {"op": "trace", "n": 3}     — recent query traces as JSON span trees
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
-the connection survives malformed requests.
+the connection survives malformed requests.  Query requests are traced end
+to end: the server opens a ``request`` root span (with a ``parse`` child
+covering JSON decoding), so ``{"op": "trace"}`` returns the full
+parse → queue → execute → plan/route/kernel/merge tree of recent queries.
 """
 
 from __future__ import annotations
 
 import json
+import time
+
 import socketserver
 
 from repro.exceptions import ReproError, ServiceError
+from repro.obs import tracer
 from repro.service.service import BandJoinService
 
 __all__ = ["handle_request", "serve_lines", "LineProtocolServer"]
@@ -76,6 +84,11 @@ def handle_request(service: BandJoinService, request: dict) -> dict:
         return {"ok": True, "catalog": service.catalog.describe()}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.prometheus()}
+    if op == "trace":
+        n = request.get("n")
+        return {"ok": True, "traces": service.traces(int(n) if n is not None else None)}
     raise ServiceError(f"unknown operation {op!r}")
 
 
@@ -84,15 +97,31 @@ def _handle_line(service: BandJoinService, line: str) -> tuple[dict | None, bool
     line = line.strip()
     if not line:
         return None, True
+    parse_wall = time.time()
+    parse_start = time.perf_counter()
     try:
         request = json.loads(line)
     except json.JSONDecodeError as exc:
         return {"ok": False, "error": f"invalid JSON: {exc}"}, True
+    parse_seconds = time.perf_counter() - parse_start
     if not isinstance(request, dict):
         return {"ok": False, "error": "request must be a JSON object"}, True
     if request.get("op") == "quit":
         return {"ok": True, "op": "quit"}, False
+    # Only queries get a request-level root span: tracing every ping or
+    # stats scrape would wash the useful traces out of the bounded ring.
+    span = (
+        tracer().span("request", op="query", query=request.get("query"))
+        if request.get("op") == "query"
+        else None
+    )
     try:
+        if span is not None:
+            with span:
+                tracer().record(
+                    "parse", span.context, start=parse_wall, duration=parse_seconds
+                )
+                return handle_request(service, request), True
         return handle_request(service, request), True
     except ReproError as exc:
         return {"ok": False, "error": str(exc)}, True

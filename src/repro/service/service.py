@@ -20,15 +20,19 @@ from __future__ import annotations
 
 import threading
 
+import repro.obs as obs
 from repro.config import ServiceConfig
 from repro.engine.engine import ParallelJoinEngine
 from repro.engine.plan_cache import PlanCache
 from repro.exceptions import ServiceError
+from repro.obs import MetricsRegistry, bind_plan_cache, bind_prepared_query, get_logger
 from repro.service.catalog import RelationCatalog, RelationSnapshot
 from repro.service.prepared import PreparedQuery, QueryResult
 from repro.service.scheduler import QueryScheduler
 
 __all__ = ["BandJoinService"]
+
+logger = get_logger(__name__)
 
 
 class BandJoinService:
@@ -60,6 +64,11 @@ class BandJoinService:
         partitioner=None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        if self.config.telemetry:
+            obs.enable()
+        #: Per-service metric scope: scheduler counters and cache adapters
+        #: land here, so concurrently running services never mix series.
+        self.registry = MetricsRegistry()
         backend = "serial" if self.config.backend == "simulated" else self.config.backend
         self.engine = ParallelJoinEngine(
             backend=backend,
@@ -67,6 +76,7 @@ class BandJoinService:
             plan_cache=PlanCache(max_entries=self.config.plan_cache_size),
             memory_budget=self.config.kernel_memory_budget,
         )
+        bind_plan_cache(self.registry, self.engine.plan_cache)
         self.catalog = RelationCatalog(
             staleness_threshold=self.config.staleness_threshold,
             on_stale=self._on_stale if self.config.compaction != "off" else None,
@@ -76,6 +86,7 @@ class BandJoinService:
             max_pending=self.config.max_pending,
             max_batch=self.config.max_batch,
             max_estimated_pairs=self.config.max_estimated_pairs,
+            registry=self.registry,
         )
         self.partitioner = partitioner
         self._prepared: dict[str, PreparedQuery] = {}
@@ -132,6 +143,10 @@ class BandJoinService:
                     "pass replace=True to overwrite"
                 )
             self._prepared[query_name] = prepared
+        bind_prepared_query(self.registry, query_name, prepared)
+        logger.info(
+            "prepared %r: %s ⋈ %s on %s", query_name, s, t, list(attributes)
+        )
         return prepared
 
     def prepared(self, query_name: str) -> PreparedQuery:
@@ -192,6 +207,7 @@ class BandJoinService:
 
     def _compact_and_replan(self, name: str) -> None:
         """Merge a stale relation's delta and re-optimize affected plans."""
+        logger.info("compacting relation %r", name)
         self.catalog.compact(name)
         with self._prepared_lock:
             affected = [
@@ -228,7 +244,24 @@ class BandJoinService:
                 **self.engine.plan_cache.stats.as_dict(),
             },
             "backend": self.engine.backend.name,
+            "telemetry": obs.is_enabled(),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Return the full metric dump: this service's registry plus the
+        process-wide one (kernel counters)."""
+        return {
+            "service": self.registry.snapshot(),
+            "process": obs.registry().snapshot(),
+        }
+
+    def prometheus(self) -> str:
+        """Return the Prometheus text exposition of every metric scope."""
+        return self.registry.render_prometheus() + obs.registry().render_prometheus()
+
+    def traces(self, n: int | None = None) -> list[dict]:
+        """Return recent finished query traces (span trees, newest first)."""
+        return obs.tracer().recent(n)
 
     def _check_open(self) -> None:
         if self._closed:
