@@ -9,7 +9,8 @@ Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
 * ``figure4``    — reproduce the overhead scatter of Figures 4 / 10.
 * ``calibrate``  — calibrate the running-time model on this machine and print it.
 * ``serve``      — run the band-join serving layer (JSON lines on stdio or TCP).
-* ``stats``      — query a running TCP server's live stats / metrics / traces.
+* ``stats``      — query a running TCP server's live stats / metrics / traces / health.
+* ``replay``     — replay a captured workload log and verify result fingerprints.
 * ``list``       — list the available tables and workload families.
 
 ``-v`` / ``-vv`` (global) raise the log level to INFO / DEBUG
@@ -146,6 +147,67 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable tracing spans and kernel profiling (metrics counters stay on)",
     )
+    serve.add_argument(
+        "--no-capture",
+        action="store_true",
+        help="disable workload capture (the in-memory traffic event ring)",
+    )
+    serve.add_argument(
+        "--capture-log",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="spool captured traffic to this JSONL file (makes it replayable)",
+    )
+    serve.add_argument(
+        "--capture-ring",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capacity of the in-memory capture ring (REPRO_TRACE_RING-style)",
+    )
+    serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capacity of the finished-trace ring (default from REPRO_TRACE_RING)",
+    )
+    serve.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO: p99 total latency ceiling in seconds",
+    )
+    serve.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="SLO: failed-request fraction ceiling (0..1)",
+    )
+    serve.add_argument(
+        "--slo-cache-hit",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="SLO: result-cache hit-rate floor (0..1)",
+    )
+    serve.add_argument(
+        "--slo-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SLO: scheduler queue-depth ceiling",
+    )
+    serve.add_argument(
+        "--slo-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="background SLO evaluation cadence (0 evaluates only on demand)",
+    )
 
     stats = subparsers.add_parser(
         "stats", help="query a running TCP server's live stats surface"
@@ -163,6 +225,41 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="also pretty-print the N most recent query traces",
+    )
+    stats.add_argument(
+        "--health",
+        action="store_true",
+        help="print the SLO health report instead of the JSON stats",
+    )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay a captured workload log (JSONL spool) and verify fingerprints",
+    )
+    replay.add_argument("log", help="JSONL capture written via --capture-log / capture_log")
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="X",
+        help="pace requests at X times the captured arrival rate "
+        "(default: as fast as possible)",
+    )
+    replay.add_argument(
+        "--backend",
+        choices=ENGINE_BACKENDS,
+        default=None,
+        help="execution backend of the replay service (default: config default)",
+    )
+    replay.add_argument(
+        "--scheduler-workers", type=int, default=None, help="scheduler thread count"
+    )
+    replay.add_argument(
+        "--snapshot",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the replayed log's Workload snapshot JSON here",
     )
 
     subparsers.add_parser("list", help="list available tables and workloads")
@@ -331,6 +428,24 @@ def _command_serve(args: argparse.Namespace) -> int:
         overrides["max_estimated_pairs"] = args.max_estimated_pairs
     if args.no_telemetry:
         overrides["telemetry"] = False
+    if args.no_capture:
+        overrides["capture"] = False
+    if args.capture_log is not None:
+        overrides["capture_log"] = args.capture_log
+    if args.capture_ring is not None:
+        overrides["capture_ring_size"] = args.capture_ring
+    if args.trace_ring is not None:
+        overrides["trace_ring_size"] = args.trace_ring
+    if args.slo_p99 is not None:
+        overrides["slo_p99_seconds"] = args.slo_p99
+    if args.slo_error_rate is not None:
+        overrides["slo_error_rate"] = args.slo_error_rate
+    if args.slo_cache_hit is not None:
+        overrides["slo_cache_hit_floor"] = args.slo_cache_hit
+    if args.slo_queue_depth is not None:
+        overrides["slo_queue_depth"] = args.slo_queue_depth
+    if args.slo_interval is not None:
+        overrides["slo_interval"] = args.slo_interval
     service = BandJoinService(config=ServiceConfig(**overrides))
     with service:
         if args.port is None:
@@ -380,6 +495,14 @@ def _command_stats(args: argparse.Namespace) -> int:
                 print(f"error: {response.get('error')}")
                 return 1
             print(response["metrics"], end="")
+        elif args.health:
+            response = _request_line(reader, writer, {"op": "health"})
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}")
+                return 1
+            health = response["health"]
+            print(json.dumps(health, indent=2, sort_keys=True))
+            return 0 if health.get("healthy") else 1
         else:
             response = _request_line(reader, writer, {"op": "stats"})
             if not response.get("ok"):
@@ -398,6 +521,24 @@ def _command_stats(args: argparse.Namespace) -> int:
                 print()
                 print(format_trace_tree(trace))
     return 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    from repro.config import ServiceConfig
+    from repro.obs.workload import Workload, replay_log
+
+    overrides = {"capture": False, "compaction": "sync"}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.scheduler_workers is not None:
+        overrides["scheduler_workers"] = args.scheduler_workers
+    report = replay_log(args.log, config=ServiceConfig(**overrides), speed=args.speed)
+    print(report.describe())
+    if args.snapshot:
+        workload = Workload.from_log_file(args.log)
+        workload.save(args.snapshot)
+        print(f"workload snapshot written to {args.snapshot}")
+    return 0 if report.ok else 1
 
 
 def _command_list(_: argparse.Namespace) -> int:
@@ -434,6 +575,7 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": _command_calibrate,
         "serve": _command_serve,
         "stats": _command_stats,
+        "replay": _command_replay,
         "list": _command_list,
     }
     return handlers[args.command](args)

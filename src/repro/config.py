@@ -97,6 +97,12 @@ DEFAULT_MAX_PENDING: int = 128
 #: engine dispatch.
 DEFAULT_MAX_BATCH: int = 8
 
+#: Default capacity of the workload recorder's in-memory event ring.
+DEFAULT_CAPTURE_RING: int = 4096
+
+#: Default background cadence (seconds) of the SLO monitor's evaluations.
+DEFAULT_SLO_INTERVAL: float = 5.0
+
 
 @dataclass(frozen=True)
 class LoadWeights:
@@ -216,6 +222,26 @@ class ServiceConfig:
         (tracing spans, kernel profiling).  The library default is off;
         serving turns it on because a long-running server is exactly where
         the live stats surface pays for its (small) overhead.
+    capture / capture_ring_size / capture_log:
+        Workload capture: when ``capture`` is on (the default), a
+        :class:`~repro.obs.workload.QueryLogRecorder` records one structured
+        event per request into a bounded in-memory ring of
+        ``capture_ring_size`` events; ``capture_log`` additionally spools
+        every event (including relation data, so the log is replayable) to a
+        JSONL file.
+    trace_ring_size:
+        Capacity of the process-wide finished-trace ring (``None`` keeps the
+        current size — the :data:`~repro.obs.tracing.DEFAULT_TRACE_BUFFER`
+        default or whatever ``REPRO_TRACE_RING`` selected).
+    slo_p99_seconds / slo_error_rate / slo_cache_hit_floor / slo_queue_depth:
+        Declarative service-level objectives, each ``None`` (disabled) by
+        default: p99 total-latency ceiling in seconds, failed-request
+        fraction ceiling, result-cache hit-rate floor, and pending-queue
+        depth ceiling.  Breaches are structured events, counted in the
+        service registry and surfaced by ``{"op": "health"}``.
+    slo_interval:
+        Background evaluation cadence of the SLO monitor in seconds
+        (``0`` evaluates only on demand, i.e. per ``health`` request).
     """
 
     backend: str = "threads"
@@ -231,6 +257,15 @@ class ServiceConfig:
     kernel_memory_budget: int = DEFAULT_KERNEL_MEMORY_BUDGET
     max_estimated_pairs: int | None = None
     telemetry: bool = True
+    capture: bool = True
+    capture_ring_size: int = DEFAULT_CAPTURE_RING
+    capture_log: str | None = None
+    trace_ring_size: int | None = None
+    slo_p99_seconds: float | None = None
+    slo_error_rate: float | None = None
+    slo_cache_hit_floor: float | None = None
+    slo_queue_depth: int | None = None
+    slo_interval: float = DEFAULT_SLO_INTERVAL
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -258,6 +293,20 @@ class ServiceConfig:
             raise ValueError("kernel_memory_budget must be positive")
         if self.max_estimated_pairs is not None and self.max_estimated_pairs < 1:
             raise ValueError("max_estimated_pairs must be positive when set")
+        if self.capture_ring_size < 1:
+            raise ValueError("capture_ring_size must be at least 1")
+        if self.trace_ring_size is not None and self.trace_ring_size < 1:
+            raise ValueError("trace_ring_size must be at least 1 when set")
+        if self.slo_p99_seconds is not None and self.slo_p99_seconds <= 0:
+            raise ValueError("slo_p99_seconds must be positive when set")
+        if self.slo_error_rate is not None and not 0 <= self.slo_error_rate <= 1:
+            raise ValueError("slo_error_rate must be within [0, 1] when set")
+        if self.slo_cache_hit_floor is not None and not 0 <= self.slo_cache_hit_floor <= 1:
+            raise ValueError("slo_cache_hit_floor must be within [0, 1] when set")
+        if self.slo_queue_depth is not None and self.slo_queue_depth < 1:
+            raise ValueError("slo_queue_depth must be at least 1 when set")
+        if self.slo_interval < 0:
+            raise ValueError("slo_interval must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,9 @@ One import surface for the whole system:
   report uses, so quantiles are computed identically everywhere.
 * :func:`setup_logging` / :func:`get_logger` — structured ``logging``
   wiring (``REPRO_LOG_LEVEL`` / ``--verbose``).
+* :mod:`repro.obs.workload` — the workload observatory (traffic capture,
+  :class:`Workload` snapshots, SLO monitoring, capture/replay); its main
+  names are re-exported here.
 """
 
 from repro.obs._state import disable, enable, is_enabled
@@ -36,6 +39,17 @@ from repro.obs.tracing import (
     format_trace_tree,
     new_span_id,
     span_record,
+)
+
+# Imported last: the workload modules use the submodules above.
+from repro.obs.workload import (
+    SLO,
+    QueryLogRecorder,
+    SLOMonitor,
+    Workload,
+    pair_fingerprint,
+    replay_log,
+    service_probes,
 )
 
 __all__ = [
@@ -64,4 +78,11 @@ __all__ = [
     "resolve_level",
     "bind_plan_cache",
     "bind_prepared_query",
+    "QueryLogRecorder",
+    "Workload",
+    "SLO",
+    "SLOMonitor",
+    "service_probes",
+    "pair_fingerprint",
+    "replay_log",
 ]

@@ -8,11 +8,26 @@ adapters and renders both on the exposition surface.
 
 from __future__ import annotations
 
+import os
+
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import DEFAULT_TRACE_BUFFER, Tracer
+
+
+def _initial_trace_ring() -> int:
+    """Return the trace-ring capacity selected by ``REPRO_TRACE_RING``."""
+    raw = os.environ.get("REPRO_TRACE_RING", "").strip()
+    if not raw:
+        return DEFAULT_TRACE_BUFFER
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_TRACE_BUFFER
+    return size if size >= 1 else DEFAULT_TRACE_BUFFER
+
 
 _REGISTRY = MetricsRegistry()
-_TRACER = Tracer()
+_TRACER = Tracer(max_traces=_initial_trace_ring())
 
 
 def registry() -> MetricsRegistry:

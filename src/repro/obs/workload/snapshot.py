@@ -1,0 +1,370 @@
+"""Fixed-period workload snapshots: what traffic did the service see?
+
+A :class:`Workload` summarizes the events of one capture period (from a
+live :class:`~repro.obs.workload.recorder.QueryLogRecorder` ring or from a
+spooled JSONL log) into the quantities a self-tuning planner consumes:
+
+* per prepared query — arrival counts, outcome mix (ok / deduplicated /
+  rejected / failed), inter-arrival statistics, per-dimension epsilon
+  distributions (exact value histograms), latency and output-size summaries;
+* per relation — row-count trajectory (registration plus every append);
+* globally — execution-path mix (how much traffic the caches absorbed) and
+  the hot-query share (traffic skew across prepared queries).
+
+Snapshots serialize to JSON and round-trip losslessly; :meth:`Workload.diff`
+/ :meth:`Workload.drift_score` quantify how far two snapshots' *traffic
+shapes* are apart (arrival mix, epsilon mix, table sizes, path mix, volume —
+deliberately not latencies, which vary across machines), so a regression
+gate can assert ``drift == 0`` for a replay and a planner can detect traffic
+shifts worth re-tuning for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Workload"]
+
+#: Traffic-shape components combined (equally weighted) by drift_score().
+DRIFT_COMPONENTS = ("arrivals", "epsilons", "table_sizes", "paths", "volume")
+
+
+def _interarrival(timestamps: list[float]) -> dict:
+    """Summarize the gaps between consecutive arrival times."""
+    gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    if not gaps:
+        return {"samples": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "samples": len(gaps),
+        "mean": sum(gaps) / len(gaps),
+        "min": min(gaps),
+        "max": max(gaps),
+    }
+
+
+def _mean_max(values: list[float]) -> dict:
+    if not values:
+        return {"samples": 0, "mean": 0.0, "max": 0.0}
+    return {"samples": len(values), "mean": sum(values) / len(values), "max": max(values)}
+
+
+def _count(counter: dict, key) -> None:
+    counter[key] = counter.get(key, 0) + 1
+
+
+def _tv_distance(a: dict, b: dict) -> float:
+    """Total-variation distance between two count distributions (0..1)."""
+    total_a, total_b = sum(a.values()), sum(b.values())
+    if total_a == 0 and total_b == 0:
+        return 0.0
+    if total_a == 0 or total_b == 0:
+        return 1.0
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0) / total_a - b.get(k, 0) / total_b) for k in keys)
+
+
+def _epsilon_counts(query_summary: dict) -> dict:
+    """Flatten a query's per-dimension epsilon histograms into one count map."""
+    counts: dict = {}
+    for dim, pairs in enumerate(query_summary.get("epsilons", [])):
+        for (left, right), count in pairs:
+            counts[(dim, left, right)] = counts.get((dim, left, right), 0) + count
+    return counts
+
+
+class Workload:
+    """Summary of the traffic observed over one fixed capture period.
+
+    Build with :meth:`from_recorder`, :meth:`from_log_file` or
+    :meth:`from_events`; the constructor takes the already-aggregated
+    summary maps (as produced by those builders or :meth:`from_dict`).
+    """
+
+    def __init__(
+        self,
+        period_start: float,
+        period_end: float,
+        queries: dict,
+        relations: dict,
+        paths: dict,
+        events: int = 0,
+        breaches: int = 0,
+        dropped: int = 0,
+    ) -> None:
+        self.period_start = float(period_start)
+        self.period_end = float(period_end)
+        self.queries = queries
+        self.relations = relations
+        self.paths = paths
+        self.events = int(events)
+        self.breaches = int(breaches)
+        self.dropped = int(dropped)
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "Workload":
+        return cls(0.0, 0.0, {}, {}, {})
+
+    @classmethod
+    def from_events(cls, events) -> "Workload":
+        """Aggregate a sequence of recorder events into one snapshot."""
+        events = sorted(events, key=lambda event: event.get("seq", 0))
+        arrivals: dict[str, list[float]] = {}
+        outcomes: dict[str, dict] = {}
+        eps_counts: dict[str, dict] = {}
+        latencies: dict[str, dict[str, list[float]]] = {}
+        output_sizes: dict[str, list[float]] = {}
+        prepared_meta: dict[str, dict] = {}
+        relations: dict[str, dict] = {}
+        paths: dict[str, int] = {}
+        breaches = 0
+        timestamps = [event["ts"] for event in events]
+        for event in events:
+            kind = event["type"]
+            if kind == "query":
+                name = event["query"]
+                arrivals.setdefault(name, []).append(event["ts"])
+                _count(outcomes.setdefault(name, {}), event.get("outcome", "ok"))
+                per_dim = eps_counts.setdefault(name, {})
+                for dim, pair in enumerate(event.get("epsilons", [])):
+                    _count(per_dim.setdefault(dim, {}), (float(pair[0]), float(pair[1])))
+                if event.get("path") is not None:
+                    _count(paths, event["path"])
+                stages = latencies.setdefault(name, {"queue": [], "exec": []})
+                if event.get("queue_seconds") is not None:
+                    stages["queue"].append(float(event["queue_seconds"]))
+                if event.get("exec_seconds") is not None:
+                    stages["exec"].append(float(event["exec_seconds"]))
+                if event.get("pairs") is not None:
+                    output_sizes.setdefault(name, []).append(float(event["pairs"]))
+                for side in ("s", "t"):
+                    rows = event.get(f"{side}_rows")
+                    if rows is not None:
+                        entry = relations.setdefault(
+                            event[side], {"appends": 0, "trajectory": []}
+                        )
+                        trajectory = entry["trajectory"]
+                        if not trajectory or trajectory[-1][1] != rows:
+                            trajectory.append([event["ts"], int(rows)])
+            elif kind in ("register", "append"):
+                entry = relations.setdefault(event["name"], {"appends": 0, "trajectory": []})
+                rows = event["total_rows"] if kind == "append" else event["rows"]
+                entry["trajectory"].append([event["ts"], int(rows)])
+                if kind == "append":
+                    entry["appends"] += 1
+            elif kind == "prepare":
+                prepared_meta[event["query"]] = {
+                    "s": event["s"],
+                    "t": event["t"],
+                    "attributes": list(event.get("attributes", [])),
+                }
+            elif kind == "slo_breach":
+                breaches += 1
+        queries: dict[str, dict] = {}
+        for name in sorted(arrivals):
+            times = arrivals[name]
+            queries[name] = {
+                **prepared_meta.get(name, {}),
+                "arrivals": len(times),
+                "outcomes": dict(sorted(outcomes.get(name, {}).items())),
+                "interarrival": _interarrival(times),
+                "epsilons": [
+                    sorted(
+                        ([list(pair), count] for pair, count in per_dim.items()),
+                        key=lambda item: item[0],
+                    )
+                    for _, per_dim in sorted(eps_counts.get(name, {}).items())
+                ],
+                "latency": {
+                    stage: _mean_max(samples)
+                    for stage, samples in latencies.get(name, {}).items()
+                },
+                "output_pairs": _mean_max(output_sizes.get(name, [])),
+            }
+        for entry in relations.values():
+            trajectory = entry["trajectory"]
+            entry["first_rows"] = trajectory[0][1] if trajectory else 0
+            entry["last_rows"] = trajectory[-1][1] if trajectory else 0
+        return cls(
+            period_start=min(timestamps) if timestamps else 0.0,
+            period_end=max(timestamps) if timestamps else 0.0,
+            queries=queries,
+            relations=dict(sorted(relations.items())),
+            paths=dict(sorted(paths.items())),
+            events=len(events),
+            breaches=breaches,
+        )
+
+    @classmethod
+    def from_recorder(cls, recorder) -> "Workload":
+        """Snapshot the current contents of a live recorder's ring."""
+        workload = cls.from_events(recorder.events())
+        workload.dropped = recorder.dropped
+        return workload
+
+    @classmethod
+    def from_log_file(cls, path) -> "Workload":
+        """Build a snapshot from a spooled JSONL capture log."""
+        events = []
+        with open(path, encoding="utf-8") as spool:
+            for line in spool:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return cls.from_events(events)
+
+    # ------------------------------------------------------------------ #
+    # Derived measures
+    # ------------------------------------------------------------------ #
+    @property
+    def period_seconds(self) -> float:
+        """Return the capture period length (first to last event)."""
+        return max(0.0, self.period_end - self.period_start)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Return the total number of query arrivals across prepared queries."""
+        return sum(q["arrivals"] for q in self.queries.values())
+
+    def arrival_counts(self) -> dict:
+        """Return the per-query arrival counts (the traffic mix)."""
+        return {name: q["arrivals"] for name, q in self.queries.items()}
+
+    @property
+    def hot_query_share(self) -> float:
+        """Return the hottest prepared query's share of all arrivals (skew)."""
+        total = self.total_arrivals
+        if not total:
+            return 0.0
+        return max(q["arrivals"] for q in self.queries.values()) / total
+
+    # ------------------------------------------------------------------ #
+    # Comparison
+    # ------------------------------------------------------------------ #
+    def diff(self, other: "Workload") -> dict:
+        """Return per-component drift versus ``other`` (each within [0, 1]).
+
+        Components: ``arrivals`` (traffic mix across queries), ``epsilons``
+        (parameter mix, averaged over queries), ``table_sizes`` (relative
+        final-row-count change), ``paths`` (execution-path mix) and
+        ``volume`` (total arrival count change).  ``score`` is their mean.
+        """
+        components = {
+            "arrivals": _tv_distance(self.arrival_counts(), other.arrival_counts()),
+            "epsilons": self._epsilon_drift(other),
+            "table_sizes": self._table_size_drift(other),
+            "paths": _tv_distance(self.paths, other.paths),
+        }
+        volume_a, volume_b = self.total_arrivals, other.total_arrivals
+        components["volume"] = (
+            abs(volume_a - volume_b) / max(volume_a, volume_b)
+            if max(volume_a, volume_b)
+            else 0.0
+        )
+        components["score"] = sum(components[c] for c in DRIFT_COMPONENTS) / len(
+            DRIFT_COMPONENTS
+        )
+        return components
+
+    def drift_score(self, other: "Workload") -> float:
+        """Return the scalar traffic-shape distance to ``other`` (0 = identical)."""
+        return self.diff(other)["score"]
+
+    def _epsilon_drift(self, other: "Workload") -> float:
+        names = set(self.queries) | set(other.queries)
+        if not names:
+            return 0.0
+        distances = [
+            _tv_distance(
+                _epsilon_counts(self.queries.get(name, {})),
+                _epsilon_counts(other.queries.get(name, {})),
+            )
+            for name in sorted(names)
+        ]
+        return sum(distances) / len(distances)
+
+    def _table_size_drift(self, other: "Workload") -> float:
+        names = set(self.relations) | set(other.relations)
+        if not names:
+            return 0.0
+        changes = []
+        for name in sorted(names):
+            rows_a = self.relations.get(name, {}).get("last_rows", 0)
+            rows_b = other.relations.get(name, {}).get("last_rows", 0)
+            top = max(rows_a, rows_b)
+            changes.append(abs(rows_a - rows_b) / top if top else 0.0)
+        return sum(changes) / len(changes)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Return the JSON-friendly form (lossless; see :meth:`from_dict`)."""
+        return {
+            "period_start": self.period_start,
+            "period_end": self.period_end,
+            "period_seconds": self.period_seconds,
+            "events": self.events,
+            "breaches": self.breaches,
+            "dropped": self.dropped,
+            "total_arrivals": self.total_arrivals,
+            "hot_query_share": self.hot_query_share,
+            "queries": self.queries,
+            "relations": self.relations,
+            "paths": self.paths,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Workload":
+        return cls(
+            period_start=data.get("period_start", 0.0),
+            period_end=data.get("period_end", 0.0),
+            queries=data.get("queries", {}),
+            relations=data.get("relations", {}),
+            paths=data.get("paths", {}),
+            events=data.get("events", 0),
+            breaches=data.get("breaches", 0),
+            dropped=data.get("dropped", 0),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> Path:
+        """Write the snapshot as JSON and return the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Workload":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def describe(self) -> str:
+        """Return a short human-readable summary."""
+        lines = [
+            f"workload: {self.total_arrivals} arrivals over "
+            f"{self.period_seconds:.1f}s, {len(self.queries)} prepared queries, "
+            f"{len(self.relations)} relations, hot-query share "
+            f"{self.hot_query_share:.2f}",
+        ]
+        for name, query in self.queries.items():
+            outcomes = ", ".join(f"{k}={v}" for k, v in query["outcomes"].items())
+            lines.append(f"  {name}: {query['arrivals']} arrivals ({outcomes})")
+        if self.paths:
+            mix = ", ".join(f"{k}={v}" for k, v in self.paths.items())
+            lines.append(f"  paths: {mix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload(arrivals={self.total_arrivals}, queries={len(self.queries)}, "
+            f"relations={len(self.relations)}, period={self.period_seconds:.1f}s)"
+        )

@@ -213,6 +213,9 @@ class PreparedQuery:
         #: Stable identity used by the scheduler for single-flight dedup and
         #: micro-batch grouping: equal keys answer from the same caches.
         self.key = (s_name, t_name, self.attributes, self.workers, partitioner.name)
+        #: Service-registered query name (set by BandJoinService.prepare);
+        #: the workload capture records it as the replayable query identity.
+        self.name: str | None = None
         self._lock = threading.Lock()
         self._results: OrderedDict = OrderedDict()       # (sv, tv, ekey) -> QueryResult
         self._base_results: OrderedDict = OrderedDict()  # (sbv, tbv, ekey) -> QueryResult

@@ -51,6 +51,7 @@ from repro.obs import (
     percentile,
     tracer,
 )
+from repro.obs.workload.recorder import pair_fingerprint
 from repro.service.prepared import (
     PATH_MICRO_BATCH,
     PreparedQuery,
@@ -186,6 +187,12 @@ def _query_label(prepared) -> str:
     )
 
 
+def _query_name(prepared) -> str:
+    """Capture identity of a prepared query: its registered service name
+    when available (replayable), otherwise the human-readable label."""
+    return getattr(prepared, "name", None) or _query_label(prepared)
+
+
 @dataclass
 class _Request:
     """One scheduled execution (shared by every deduplicated submitter)."""
@@ -215,6 +222,10 @@ class QueryScheduler:
     max_estimated_pairs:
         Reject queries whose sampled output estimate exceeds this many
         pairs (``None`` disables output-size admission control).
+    recorder:
+        Optional :class:`~repro.obs.workload.recorder.QueryLogRecorder`;
+        when present every request outcome (completed, deduplicated,
+        rejected, failed) is captured as a structured workload event.
     """
 
     def __init__(
@@ -224,6 +235,7 @@ class QueryScheduler:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_estimated_pairs: int | None = None,
         registry: MetricsRegistry | None = None,
+        recorder=None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -237,6 +249,16 @@ class QueryScheduler:
         self.max_batch = max_batch
         self.max_estimated_pairs = max_estimated_pairs
         self.metrics = SchedulerMetrics(registry=registry)
+        self.recorder = recorder
+        # Capture-template memo: everything about a completed query event
+        # except its timings is determined by (query, epsilons, catalog
+        # versions) — including the result fingerprint, which would
+        # otherwise rehash the whole pair set per cache-served repeat.  Hot
+        # repeats therefore capture at the cost of one dict copy.  Reads are
+        # unlocked (a plain-dict get is atomic under the GIL); the lock only
+        # serializes the insert/evict path.
+        self._capture_lock = threading.Lock()
+        self._capture_cache: dict[tuple, dict] = {}
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._queue: deque[_Request] = deque()
@@ -266,12 +288,17 @@ class QueryScheduler:
         """
         ekey = prepared.epsilon_key(epsilons)
         key = (prepared.key, ekey, prepared.current_versions())
-        with self._work_ready:
-            existing = self._admit_locked(key)
-            if existing is not None:
-                return existing
-            if self.max_estimated_pairs is None:
-                return self._enqueue_locked(prepared, ekey, key)
+        try:
+            with self._work_ready:
+                existing = self._admit_locked(key)
+                if existing is not None:
+                    self._record_outcome(prepared, ekey, "deduplicated")
+                    return existing
+                if self.max_estimated_pairs is None:
+                    return self._enqueue_locked(prepared, ekey, key)
+        except ServiceOverloadError:
+            self._record_outcome(prepared, ekey, "rejected", reason="saturated")
+            raise
         # Priced outside the scheduler lock (the probe reads the catalog) and
         # after the saturation check, so overload never pays for probes; a
         # duplicate landing meanwhile is caught by the re-admission below.
@@ -282,16 +309,22 @@ class QueryScheduler:
                 "rejected %s: estimated %.0f pairs over limit %d",
                 _query_label(prepared), estimate, self.max_estimated_pairs,
             )
+            self._record_outcome(prepared, ekey, "rejected", reason="estimated_pairs")
             raise ServiceOverloadError(
                 f"estimated output of ~{estimate:,.0f} pairs exceeds the "
                 f"admission limit of {self.max_estimated_pairs:,} pairs; "
                 "narrow the band or raise max_estimated_pairs"
             )
-        with self._work_ready:
-            existing = self._admit_locked(key)
-            if existing is not None:
-                return existing
-            return self._enqueue_locked(prepared, ekey, key)
+        try:
+            with self._work_ready:
+                existing = self._admit_locked(key)
+                if existing is not None:
+                    self._record_outcome(prepared, ekey, "deduplicated")
+                    return existing
+                return self._enqueue_locked(prepared, ekey, key)
+        except ServiceOverloadError:
+            self._record_outcome(prepared, ekey, "rejected", reason="saturated")
+            raise
 
     def _admit_locked(self, key: tuple) -> Future | None:
         """Admission gate (caller holds the lock): returns the in-flight
@@ -335,6 +368,76 @@ class QueryScheduler:
     def query(self, prepared: PreparedQuery, epsilons=None, timeout=None) -> QueryResult:
         """Synchronous submit-and-wait."""
         return self.submit(prepared, epsilons).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Workload capture
+    # ------------------------------------------------------------------ #
+    def _record_outcome(self, prepared, ekey, outcome: str, reason: str | None = None) -> None:
+        """Capture a request that never reached execution (dedup/rejection)."""
+        if self.recorder is None:
+            return
+        self.recorder.record_query(
+            query=_query_name(prepared),
+            epsilons=ekey,
+            outcome=outcome,
+            s_name=getattr(prepared, "s_name", "?"),
+            t_name=getattr(prepared, "t_name", "?"),
+            reason=reason,
+        )
+
+    def _capture_template(self, key, prepared, ekey, result: QueryResult) -> dict:
+        """Build (and memoize) the static part of a completed-query capture event.
+
+        Memoized per (query, epsilons, result versions): those determine the
+        relation row counts, the output size and the content fingerprint, so
+        cache-served repeats skip the catalog lookups and the pair-set hash.
+        """
+        template = {
+            "type": "query",
+            "query": _query_name(prepared),
+            "epsilons": [list(pair) for pair in ekey],
+            "outcome": "ok",
+            "s": result.s_name,
+            "t": result.t_name,
+            "s_version": result.s_version,
+            "t_version": result.t_version,
+            "pairs": result.n_pairs,
+            "fingerprint": pair_fingerprint(result.pairs),
+        }
+        catalog = getattr(prepared, "catalog", None)
+        if catalog is not None:
+            try:
+                template["s_rows"] = catalog.get(result.s_name).rows
+                template["t_rows"] = catalog.get(result.t_name).rows
+            except Exception:  # noqa: BLE001 - capture must never fail a query
+                pass
+        with self._capture_lock:
+            cache = self._capture_cache
+            if len(cache) >= 512:
+                # Evict the oldest half (insertion order) in one sweep rather
+                # than paying LRU bookkeeping on every hot-path hit.
+                for old in list(cache)[:256]:
+                    del cache[old]
+            cache[key] = template
+        return template
+
+    def _record_completed(self, request: _Request, result: QueryResult, done: float) -> None:
+        """Capture one completed request with its latencies and fingerprint."""
+        recorder = self.recorder
+        if recorder is None:
+            return
+        prepared, ekey = request.prepared, request.ekey
+        key = (getattr(prepared, "key", None), ekey, result.s_version, result.t_version)
+        template = self._capture_cache.get(key)
+        if template is None:
+            template = self._capture_template(key, prepared, ekey, result)
+        recorder.record_completed(
+            template,
+            request.submitted_wall,
+            request.started_at - request.submitted_at,
+            done - request.started_at,
+            result.path,
+        )
 
     @property
     def pending(self) -> int:
@@ -402,6 +505,16 @@ class QueryScheduler:
             logger.warning("query %s failed: %s", _query_label(prepared), exc)
             for request in batch:
                 self.metrics.record_failure()
+                if self.recorder is not None:
+                    self.recorder.record_query(
+                        query=_query_name(prepared),
+                        epsilons=request.ekey,
+                        outcome="failed",
+                        s_name=getattr(prepared, "s_name", "?"),
+                        t_name=getattr(prepared, "t_name", "?"),
+                        ts=request.submitted_wall,
+                        error=str(exc),
+                    )
                 request.span.set(error=str(exc))
                 request.span.end()
                 request.future.set_exception(exc)
@@ -413,6 +526,7 @@ class QueryScheduler:
                 queue_seconds=request.started_at - request.submitted_at,
                 exec_seconds=done - request.started_at,
             )
+            self._record_completed(request, result, done)
         if len(batch) > 1:
             self.metrics.record_batched(len(batch) - 1)
         # Telemetry is finalised before the futures resolve: a caller ending

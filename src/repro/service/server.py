@@ -20,6 +20,8 @@ Operations::
     {"op": "catalog"} | {"op": "stats"} | {"op": "ping"} | {"op": "quit"}
     {"op": "metrics"}           — Prometheus text exposition (one string)
     {"op": "trace", "n": 3}     — recent query traces as JSON span trees
+    {"op": "health"}            — SLO evaluation (healthy flag + breaches)
+    {"op": "workload"}          — Workload snapshot of the captured traffic
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
 the connection survives malformed requests.  Query requests are traced end
@@ -89,6 +91,10 @@ def handle_request(service: BandJoinService, request: dict) -> dict:
     if op == "trace":
         n = request.get("n")
         return {"ok": True, "traces": service.traces(int(n) if n is not None else None)}
+    if op == "health":
+        return {"ok": True, "health": service.health()}
+    if op == "workload":
+        return {"ok": True, "workload": service.workload_snapshot().to_dict()}
     raise ServiceError(f"unknown operation {op!r}")
 
 

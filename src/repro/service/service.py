@@ -20,13 +20,22 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
+
 import repro.obs as obs
 from repro.config import ServiceConfig
 from repro.engine.engine import ParallelJoinEngine
 from repro.engine.plan_cache import PlanCache
 from repro.exceptions import ServiceError
 from repro.obs import MetricsRegistry, bind_plan_cache, bind_prepared_query, get_logger
-from repro.service.catalog import RelationCatalog, RelationSnapshot
+from repro.obs.workload import (
+    SLO,
+    QueryLogRecorder,
+    SLOMonitor,
+    Workload,
+    service_probes,
+)
+from repro.service.catalog import RelationCatalog, RelationSnapshot, _as_relation
 from repro.service.prepared import PreparedQuery, QueryResult
 from repro.service.scheduler import QueryScheduler
 
@@ -66,6 +75,20 @@ class BandJoinService:
         self.config = config if config is not None else ServiceConfig()
         if self.config.telemetry:
             obs.enable()
+        if self.config.trace_ring_size is not None:
+            obs.tracer().resize(self.config.trace_ring_size)
+        #: Workload capture (``None`` when ``config.capture`` is off); the
+        #: scheduler records every request outcome here, the service adds
+        #: catalog mutations — with column data when spooling, so the
+        #: capture is replayable.
+        self.recorder = (
+            QueryLogRecorder(
+                capacity=self.config.capture_ring_size,
+                spool_path=self.config.capture_log,
+            )
+            if self.config.capture
+            else None
+        )
         #: Per-service metric scope: scheduler counters and cache adapters
         #: land here, so concurrently running services never mix series.
         self.registry = MetricsRegistry()
@@ -87,6 +110,7 @@ class BandJoinService:
             max_batch=self.config.max_batch,
             max_estimated_pairs=self.config.max_estimated_pairs,
             registry=self.registry,
+            recorder=self.recorder,
         )
         self.partitioner = partitioner
         self._prepared: dict[str, PreparedQuery] = {}
@@ -95,6 +119,33 @@ class BandJoinService:
         self._maintenance: list[threading.Thread] = []
         self._compacting: set[str] = set()
         self._closed = False
+        self.monitor = SLOMonitor(
+            objectives=self._slo_objectives(),
+            probes=service_probes(self),
+            interval=self.config.slo_interval,
+            registry=self.registry,
+            recorder=self.recorder,
+        )
+        self.monitor.start()
+
+    def _slo_objectives(self) -> list[SLO]:
+        """Translate the config's scalar SLO fields into objectives."""
+        objectives = []
+        if self.config.slo_p99_seconds is not None:
+            objectives.append(
+                SLO("p99_latency", "p99_latency_seconds", self.config.slo_p99_seconds)
+            )
+        if self.config.slo_error_rate is not None:
+            objectives.append(SLO("error_rate", "error_rate", self.config.slo_error_rate))
+        if self.config.slo_cache_hit_floor is not None:
+            objectives.append(
+                SLO("cache_hit_floor", "cache_hit_rate", self.config.slo_cache_hit_floor)
+            )
+        if self.config.slo_queue_depth is not None:
+            objectives.append(
+                SLO("queue_depth", "queue_depth", float(self.config.slo_queue_depth))
+            )
+        return objectives
 
     # ------------------------------------------------------------------ #
     # Data plane
@@ -102,12 +153,31 @@ class BandJoinService:
     def register(self, name: str, data, replace: bool = False) -> RelationSnapshot:
         """Register a relation (a Relation instance or a column mapping)."""
         self._check_open()
-        return self.catalog.register(name, data, replace=replace)
+        relation = _as_relation(name, data)
+        snapshot = self.catalog.register(name, relation, replace=replace)
+        if self.recorder is not None:
+            self.recorder.record_register(
+                name,
+                rows=snapshot.rows,
+                version=snapshot.version,
+                columns=_spool_columns(relation) if self.recorder.spooling else None,
+            )
+        return snapshot
 
     def append(self, name: str, rows) -> RelationSnapshot:
         """Append rows to a registered relation's delta."""
         self._check_open()
-        return self.catalog.append(name, rows)
+        relation = _as_relation(name, rows)
+        snapshot = self.catalog.append(name, relation)
+        if self.recorder is not None:
+            self.recorder.record_append(
+                name,
+                rows=len(relation),
+                version=snapshot.version,
+                total_rows=snapshot.rows,
+                columns=_spool_columns(relation) if self.recorder.spooling else None,
+            )
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Query plane
@@ -143,7 +213,17 @@ class BandJoinService:
                     "pass replace=True to overwrite"
                 )
             self._prepared[query_name] = prepared
+        prepared.name = query_name
         bind_prepared_query(self.registry, query_name, prepared)
+        if self.recorder is not None:
+            self.recorder.record_prepare(
+                query_name,
+                s_name=s,
+                t_name=t,
+                attributes=attributes,
+                epsilons=prepared.default_epsilons,
+                workers=prepared.workers,
+            )
         logger.info(
             "prepared %r: %s ⋈ %s on %s", query_name, s, t, list(attributes)
         )
@@ -159,6 +239,11 @@ class BandJoinService:
                     f"unknown prepared query {query_name!r}; "
                     f"registered: {sorted(self._prepared)}"
                 ) from None
+
+    def prepared_queries(self) -> dict[str, PreparedQuery]:
+        """Return a point-in-time copy of the prepared-query registry."""
+        with self._prepared_lock:
+            return dict(self._prepared)
 
     def query(self, query_name: str, epsilons=None, timeout=None) -> QueryResult:
         """Answer one prepared query synchronously (through the scheduler)."""
@@ -245,7 +330,20 @@ class BandJoinService:
             },
             "backend": self.engine.backend.name,
             "telemetry": obs.is_enabled(),
+            "capture": self.recorder.describe() if self.recorder is not None else None,
         }
+
+    def health(self) -> dict:
+        """Evaluate every configured SLO now and return the health report."""
+        return self.monitor.health()
+
+    def workload_snapshot(self) -> Workload:
+        """Summarize the captured traffic currently in the recorder ring."""
+        if self.recorder is None:
+            raise ServiceError(
+                "workload capture is disabled (ServiceConfig.capture=False)"
+            )
+        return Workload.from_recorder(self.recorder)
 
     def metrics_snapshot(self) -> dict:
         """Return the full metric dump: this service's registry plus the
@@ -273,8 +371,11 @@ class BandJoinService:
             if self._closed:
                 return
             self._closed = True
+        self.monitor.stop()
         self.scheduler.close()
         self.drain_maintenance()
+        if self.recorder is not None:
+            self.recorder.close()
 
     def __enter__(self) -> "BandJoinService":
         return self
@@ -288,3 +389,11 @@ class BandJoinService:
             f"relations={self.catalog.names()}, "
             f"prepared={sorted(self._prepared)})"
         )
+
+
+def _spool_columns(relation) -> dict:
+    """Serialize a relation's columns for the replayable JSONL spool."""
+    return {
+        name: np.asarray(relation.column(name)).tolist()
+        for name in relation.column_names
+    }

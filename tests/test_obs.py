@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import threading
 
 import numpy as np
@@ -465,3 +466,153 @@ class TestLogging:
         assert list(logger.handlers) == handlers_before
         assert logger.level == logging.DEBUG
         obs.setup_logging(level="WARNING")
+
+
+class TestPrometheusExpositionLint:
+    """Lint-style validation of the full text exposition of a live service."""
+
+    _NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    _SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (\S+)$")
+    _LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
+
+    @staticmethod
+    def _exposition():
+        rng = np.random.default_rng(41)
+        config = ServiceConfig(compaction="sync", staleness_threshold=10.0)
+        with BandJoinService(config=config) as service:
+            service.register("S", {"A1": rng.uniform(0, 1, 600)})
+            service.register("T", {"A1": rng.uniform(0, 1, 600)})
+            service.prepare("q", "S", "T", attributes=["A1"], epsilons=0.01)
+            service.query("q")
+            service.query("q")
+            return service.prometheus()
+
+    def test_exposition_parses_and_names_are_valid(self):
+        text = self._exposition()
+        declared_types: dict[str, str] = {}
+        samples: list[tuple[str, dict, float]] = []
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                assert self._NAME.match(name), f"invalid HELP name: {line!r}"
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert self._NAME.match(name), f"invalid TYPE name: {line!r}"
+                assert kind in ("counter", "gauge", "histogram"), line
+                assert name not in declared_types, f"duplicate TYPE for {name}"
+                declared_types[name] = kind
+                continue
+            assert not line.startswith("#"), f"unknown comment line: {line!r}"
+            match = self._SAMPLE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, raw_labels, raw_value = match.groups()
+            labels = {}
+            if raw_labels:
+                for part in raw_labels.split(","):
+                    assert self._LABEL.match(part), f"bad label {part!r} in {line!r}"
+                    key, value = part.split("=", 1)
+                    labels[key] = value.strip('"')
+            value = float(raw_value)  # must parse (+Inf included)
+            samples.append((name, labels, value))
+        assert samples, "exposition was empty"
+        # Every sample belongs to a declared metric family.
+        for name, _, _ in samples:
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name.removesuffix(suffix) in declared_types:
+                    base = name.removesuffix(suffix)
+                    break
+            assert base in declared_types, f"sample {name} has no TYPE declaration"
+        # The families this PR promises are present.
+        assert declared_types.get("repro_scheduler_events_total") == "counter"
+        assert declared_types.get("repro_scheduler_latency_seconds") == "histogram"
+
+    def test_histogram_series_are_consistent(self):
+        text = self._exposition()
+        buckets: dict[tuple, list[tuple[float, float]]] = {}
+        sums: dict[tuple, float] = {}
+        counts: dict[tuple, float] = {}
+        for line in text.splitlines():
+            match = self._SAMPLE.match(line) if line and not line.startswith("#") else None
+            if not match:
+                continue
+            name, raw_labels, raw_value = match.groups()
+            labels = dict(
+                part.split("=", 1) for part in (raw_labels or "").split(",") if part
+            )
+            le = labels.pop("le", None)
+            series = (name, tuple(sorted(labels.items())))
+            if name.endswith("_bucket"):
+                key = (name.removesuffix("_bucket"), series[1])
+                buckets.setdefault(key, []).append((float(le.strip('"')), float(raw_value)))
+            elif name.endswith("_sum"):
+                sums[(name.removesuffix("_sum"), series[1])] = float(raw_value)
+            elif name.endswith("_count"):
+                counts[(name.removesuffix("_count"), series[1])] = float(raw_value)
+        histogram_keys = [k for k in buckets if k[0].startswith("repro_")]
+        assert histogram_keys, "no histogram series found"
+        for key in histogram_keys:
+            series = buckets[key]
+            # Buckets arrive in ascending le order and are cumulative.
+            les = [le for le, _ in series]
+            assert les == sorted(les)
+            assert les[-1] == float("inf")
+            values = [v for _, v in series]
+            assert values == sorted(values), f"non-cumulative buckets for {key}"
+            # _sum and _count exist; +Inf bucket equals _count.
+            assert key in sums, f"missing _sum for {key}"
+            assert key in counts, f"missing _count for {key}"
+            assert values[-1] == counts[key]
+
+
+class TestTraceRingConfiguration:
+    @pytest.fixture(autouse=True)
+    def _restore_global_ring(self):
+        tracer_ = obs.tracer()
+        original = tracer_.max_traces
+        yield
+        tracer_.resize(original)
+
+    def test_resize_shrinks_keeping_newest(self):
+        local = Tracer()
+        obs.enable()
+        for i in range(6):
+            with local.span("op", i=i):
+                pass
+        local.resize(2)
+        assert local.max_traces == 2
+        kept = local.recent()
+        assert len(kept) == 2
+        assert [trace["root"]["attrs"]["i"] for trace in kept] == [5, 4]
+        local.resize(8)  # growing keeps contents
+        assert local.max_traces == 8
+        assert len(local.recent()) == 2
+        with pytest.raises(ValueError):
+            local.resize(0)
+
+    def test_service_config_resizes_global_ring(self):
+        config = ServiceConfig(trace_ring_size=7, compaction="sync")
+        with BandJoinService(config=config):
+            assert obs.tracer().max_traces == 7
+
+    def test_trace_ring_env_parsing(self, monkeypatch):
+        from repro.obs.globals import _initial_trace_ring
+        from repro.obs.tracing import DEFAULT_TRACE_BUFFER
+
+        monkeypatch.delenv("REPRO_TRACE_RING", raising=False)
+        assert _initial_trace_ring() == DEFAULT_TRACE_BUFFER
+        monkeypatch.setenv("REPRO_TRACE_RING", "17")
+        assert _initial_trace_ring() == 17
+        monkeypatch.setenv("REPRO_TRACE_RING", "garbage")
+        assert _initial_trace_ring() == DEFAULT_TRACE_BUFFER
+        monkeypatch.setenv("REPRO_TRACE_RING", "0")
+        assert _initial_trace_ring() == DEFAULT_TRACE_BUFFER
+
+    def test_config_validates_ring_sizes(self):
+        with pytest.raises(Exception):
+            ServiceConfig(trace_ring_size=0)
+        with pytest.raises(Exception):
+            ServiceConfig(capture_ring_size=0)
