@@ -1,0 +1,218 @@
+"""End-to-end EXPLAIN / EXPLAIN ANALYZE smoke check.
+
+Drives the whole introspection surface in-process:
+
+* EXPLAIN without execution — the plan tree carries partitioning,
+  per-worker and cost-model estimates, plan-cache provenance, and the
+  AutoJoin selector decision with its rejected alternatives, and the
+  prepared query's execution counter stays untouched,
+* EXPLAIN ANALYZE — every estimate node gains actuals with finite
+  q-errors and the analyzed root pair count equals the executed result,
+* calibration — after 20+ analyzed runs ``calibrate()`` refits the
+  running-time betas and the next EXPLAIN prices the plan in seconds,
+* hot-path cost — the estimate-accuracy tracker is toggled on every other
+  cached-path request and the interleaved medians must agree within the
+  1% ISSUE budget.
+
+Writes the analyzed report to ``EXPLAIN_sample.json`` so CI can upload it
+as an artifact, and merges an ``explain`` block (overhead + calibration
+figures) into ``BENCH_service.json`` at the repository root (override with
+``REPRO_BENCH_SERVICE_OUT``).  Exits non-zero on any violation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/smoke_explain.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+_SRC = ROOT / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+SAMPLE_PATH = ROOT / "EXPLAIN_sample.json"
+
+ROWS = 4000
+DIMENSIONS = 2
+EPSILONS = (0.004, 0.006, 0.008, 0.010, 0.012, 0.014)
+ANALYZED_RUNS = 24
+OVERHEAD_BURST = 500
+OVERHEAD_REPEAT = 9
+OVERHEAD_BUDGET = 0.01
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        raise SystemExit(1)
+
+
+def measure_tracker_overhead(service, repeat: int = OVERHEAD_REPEAT) -> dict:
+    """Median cached-path latency with the accuracy tracker off vs on.
+
+    Same interleaved-median protocol as the capture-overhead measurement in
+    ``bench_service.py``: the tracker is toggled on every other request so
+    both configurations see identical machine load, and the median discards
+    scheduler-jitter outliers.  On the cached path the tracker's whole job
+    is one "not an executed path" check, so this bounds the cost EXPLAIN
+    support adds to requests that never asked for it.
+    """
+    tracker = service.scheduler.calibration
+    latencies: dict[bool, list[float]] = {False: [], True: []}
+    try:
+        for i in range(2 * OVERHEAD_BURST * max(1, repeat)):
+            enabled = bool(i & 1)
+            eps = EPSILONS[(i // 2) % len(EPSILONS)]
+            service.scheduler.calibration = tracker if enabled else None
+            start = time.perf_counter()
+            service.query("bench", eps)
+            latencies[enabled].append(time.perf_counter() - start)
+    finally:
+        service.scheduler.calibration = tracker
+    disabled = sorted(latencies[False])[len(latencies[False]) // 2]
+    enabled = sorted(latencies[True])[len(latencies[True]) // 2]
+    return {
+        "requests_per_config": OVERHEAD_BURST * max(1, repeat),
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_fraction": (enabled - disabled) / disabled if disabled else 0.0,
+    }
+
+
+def bench_record_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_SERVICE_OUT")
+    if override:
+        return Path(override)
+    return ROOT / "BENCH_service.json"
+
+
+def merge_bench_block(block: dict) -> Path:
+    """Merge the explain block into BENCH_service.json, keeping other keys."""
+    path = bench_record_path()
+    record: dict = {}
+    if path.exists():
+        try:
+            record = json.loads(path.read_text())
+        except ValueError:
+            record = {}
+    record["explain"] = block
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main() -> int:
+    import numpy as np
+
+    from repro.config import ServiceConfig
+    from repro.data.generators import correlated_pair
+    from repro.service import BandJoinService
+
+    s, t = correlated_pair(ROWS, ROWS, dimensions=DIMENSIONS, z=1.5, seed=0)
+    attributes = [f"A{i + 1}" for i in range(DIMENSIONS)]
+    # local_algorithm="auto" so the selector node carries a real decision
+    # (the service default is a fixed kernel, reported as fixed=True).
+    config = ServiceConfig(
+        backend="threads", workers=4, scheduler_workers=4, local_algorithm="auto"
+    )
+
+    with BandJoinService(config) as service:
+        service.register("S", s)
+        service.register("T", t)
+        prepared = service.prepare(
+            "bench", "S", "T", attributes=attributes, epsilons=EPSILONS[0]
+        )
+
+        # ---- EXPLAIN: full plan tree, nothing executed ----------------- #
+        plain = service.explain("bench").to_dict()
+        check(plain["analyze"] is False and plain["path"] is None,
+              "plain EXPLAIN must not carry an execution path")
+        check(prepared.stats.executions == 0, "EXPLAIN executed the query")
+        children = {c["name"] for c in plain["plan"]["children"]}
+        for expected in ("partitioning", "selector", "cost_model"):
+            check(expected in children, f"plan tree lost its {expected} node")
+        partitioning = next(
+            c for c in plain["plan"]["children"] if c["name"] == "partitioning"
+        )
+        check(partitioning["attrs"]["plan_cached"] is False,
+              "first EXPLAIN reported a cached plan")
+        check(any(c["name"].startswith("worker") for c in partitioning["children"]),
+              "partitioning node lost its per-worker estimates")
+        selector = next(c for c in plain["plan"]["children"] if c["name"] == "selector")
+        check("chosen" in selector["attrs"], "selector decision missing")
+        check(any(c["name"].startswith("rejected") for c in selector["children"]),
+              "selector rejected-alternatives missing")
+        check(service.explain("bench").to_dict()["plan"]["children"][0]["attrs"][
+            "plan_cached"] is True, "second EXPLAIN missed the plan cache")
+
+        # ---- EXPLAIN ANALYZE: actuals and q-errors --------------------- #
+        analyzed = service.explain("bench", analyze=True)
+        exact = service.query("bench").n_pairs
+        check(analyzed.root.actuals["pairs"] == float(exact),
+              "analyzed pair count does not match the executed result")
+        worst = analyzed.max_qerror()
+        check(worst is not None and math.isfinite(worst),
+              f"analyzed q-error not finite: {worst}")
+        rendered = analyzed.render()
+        check("(actual" in rendered and "q=" in rendered,
+              "rendered tree lost its actual/q-error annotations")
+        check("repro_estimate_qerror" in service.prometheus(),
+              "repro_estimate_qerror missing from the Prometheus exposition")
+        print(rendered)
+
+        # ---- calibration: 20+ analyzed runs refit the betas ------------ #
+        for i in range(ANALYZED_RUNS):
+            eps = 0.004 + 0.0005 * i
+            service.explain("bench", epsilons=eps, analyze=True)
+        report = service.calibrate()
+        check(report.n_records >= 20, f"only {report.n_records} calibration records")
+        check(report.after_error >= 0.0, "refit error must be non-negative")
+        betas = report.to_dict()["betas"]
+        check(set(betas) == {"beta0", "beta1", "beta2", "beta3"},
+              f"unexpected beta set {sorted(betas)}")
+        print(f"calibrated over {report.n_records} runs: "
+              f"relative error {report.before_error:.3g} -> {report.after_error:.3g}, "
+              f"mean output q-error {report.mean_output_qerror:.3f}")
+        calibrated = service.explain("bench", analyze=True)
+        cost = next(c for c in calibrated.root.children if c.name == "cost_model")
+        check(cost.attrs["calibrated"] is True and "seconds" in cost.estimates,
+              "post-calibration EXPLAIN still prices in load units")
+
+        SAMPLE_PATH.write_text(json.dumps(
+            {"explain": plain, "explain_analyze": calibrated.to_dict(),
+             "rendered": calibrated.render().splitlines()},
+            indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SAMPLE_PATH.name}")
+
+        # ---- hot-path budget: tracker must cost < 1% ------------------- #
+        overhead = measure_tracker_overhead(service)
+
+    print(f"tracker overhead on the cached path: "
+          f"{overhead['overhead_fraction'] * 100:+.2f}% "
+          f"(median per-request {overhead['disabled_seconds'] * 1e6:.1f}us off vs "
+          f"{overhead['enabled_seconds'] * 1e6:.1f}us on, interleaved over "
+          f"{overhead['requests_per_config']} requests per configuration)")
+
+    block = {
+        "overhead": overhead,
+        "overhead_ok": overhead["overhead_fraction"] < OVERHEAD_BUDGET,
+        "calibration": report.to_dict(),
+    }
+    path = merge_bench_block(block)
+    print(f"merged explain block into {path}")
+    check(block["overhead_ok"],
+          f"non-analyze explain overhead {overhead['overhead_fraction'] * 100:.2f}% "
+          f"exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget")
+    print("explain smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

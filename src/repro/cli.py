@@ -10,6 +10,7 @@ Installed as ``repro-bandjoin`` (see ``pyproject.toml``); also runnable as
 * ``calibrate``  — calibrate the running-time model on this machine and print it.
 * ``serve``      — run the band-join serving layer (JSON lines on stdio or TCP).
 * ``stats``      — query a running TCP server's live stats / metrics / traces / health.
+* ``explain``    — EXPLAIN (ANALYZE) a prepared query on a running TCP server.
 * ``replay``     — replay a captured workload log and verify result fingerprints.
 * ``list``       — list the available tables and workload families.
 
@@ -202,11 +203,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="SLO: scheduler queue-depth ceiling",
     )
     serve.add_argument(
+        "--slo-max-estimate-qerror",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="SLO: ceiling on the mean output-estimate q-error of recent queries",
+    )
+    serve.add_argument(
         "--slo-interval",
         type=float,
         default=None,
         metavar="SECONDS",
         help="background SLO evaluation cadence (0 evaluates only on demand)",
+    )
+    serve.add_argument(
+        "--calibration-log",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="spool (estimate, actual, features) records of executed queries "
+        "to this JSONL file for cost-model recalibration",
     )
 
     stats = subparsers.add_parser(
@@ -230,6 +246,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--health",
         action="store_true",
         help="print the SLO health report instead of the JSON stats",
+    )
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="EXPLAIN (ANALYZE) a prepared query on a running TCP server",
+    )
+    explain.add_argument("query", help="prepared-query name on the server")
+    explain.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    explain.add_argument("--port", type=int, required=True, help="server TCP port")
+    explain.add_argument(
+        "--epsilons",
+        type=str,
+        default=None,
+        metavar="E1,E2,...",
+        help="comma-separated band widths (default: the query's defaults)",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and graft measured actuals plus q-errors "
+        "onto every estimate node",
+    )
+    explain_format = explain.add_mutually_exclusive_group()
+    explain_format.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON report instead of the rendered plan tree",
+    )
+    explain_format.add_argument(
+        "--text",
+        action="store_true",
+        help="print the rendered plan tree (the default)",
     )
 
     replay = subparsers.add_parser(
@@ -444,8 +492,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         overrides["slo_cache_hit_floor"] = args.slo_cache_hit
     if args.slo_queue_depth is not None:
         overrides["slo_queue_depth"] = args.slo_queue_depth
+    if args.slo_max_estimate_qerror is not None:
+        overrides["slo_max_estimate_qerror"] = args.slo_max_estimate_qerror
     if args.slo_interval is not None:
         overrides["slo_interval"] = args.slo_interval
+    if args.calibration_log is not None:
+        overrides["calibration_log"] = args.calibration_log
     service = BandJoinService(config=ServiceConfig(**overrides))
     with service:
         if args.port is None:
@@ -523,6 +575,36 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_explain(args: argparse.Namespace) -> int:
+    import json
+    import socket
+
+    from repro.obs.explain import format_plan_tree
+
+    payload = {"op": "explain", "query": args.query, "analyze": args.analyze}
+    if args.epsilons is not None:
+        try:
+            payload["epsilons"] = [
+                float(e) for e in args.epsilons.split(",") if e.strip()
+            ]
+        except ValueError:
+            print(f"invalid --epsilons {args.epsilons!r}; expected comma-separated numbers")
+            return 2
+    with socket.create_connection((args.host, args.port), timeout=300) as sock:
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+        response = _request_line(reader, writer, payload)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}")
+        return 1
+    report = response["explain"]
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_plan_tree(report))
+    return 0
+
+
 def _command_replay(args: argparse.Namespace) -> int:
     from repro.config import ServiceConfig
     from repro.obs.workload import Workload, replay_log
@@ -575,6 +657,7 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": _command_calibrate,
         "serve": _command_serve,
         "stats": _command_stats,
+        "explain": _command_explain,
         "replay": _command_replay,
         "list": _command_list,
     }

@@ -103,6 +103,9 @@ DEFAULT_CAPTURE_RING: int = 4096
 #: Default background cadence (seconds) of the SLO monitor's evaluations.
 DEFAULT_SLO_INTERVAL: float = 5.0
 
+#: Default retention bound of the on-disk cost-model calibration spool.
+DEFAULT_CALIBRATION_MAX_RECORDS: int = 4096
+
 
 @dataclass(frozen=True)
 class LoadWeights:
@@ -239,9 +242,19 @@ class ServiceConfig:
         fraction ceiling, result-cache hit-rate floor, and pending-queue
         depth ceiling.  Breaches are structured events, counted in the
         service registry and surfaced by ``{"op": "health"}``.
+    slo_max_estimate_qerror:
+        Ceiling on the mean output-cardinality estimate q-error over the
+        recent executed-query window — sustained miscalibration of the cost
+        model becomes a health breach.  ``None`` disables it.
     slo_interval:
         Background evaluation cadence of the SLO monitor in seconds
         (``0`` evaluates only on demand, i.e. per ``health`` request).
+    calibration_log / calibration_max_records:
+        Persistent cost-model calibration: when ``calibration_log`` is set,
+        every executed query appends one ``(estimate, actual, features)``
+        JSON line to that spool (bounded at ``calibration_max_records``
+        records), from which ``CalibrationStore.calibrate()`` refits the
+        running-time betas.
     """
 
     backend: str = "threads"
@@ -265,7 +278,10 @@ class ServiceConfig:
     slo_error_rate: float | None = None
     slo_cache_hit_floor: float | None = None
     slo_queue_depth: int | None = None
+    slo_max_estimate_qerror: float | None = None
     slo_interval: float = DEFAULT_SLO_INTERVAL
+    calibration_log: str | None = None
+    calibration_max_records: int = DEFAULT_CALIBRATION_MAX_RECORDS
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -305,8 +321,15 @@ class ServiceConfig:
             raise ValueError("slo_cache_hit_floor must be within [0, 1] when set")
         if self.slo_queue_depth is not None and self.slo_queue_depth < 1:
             raise ValueError("slo_queue_depth must be at least 1 when set")
+        if self.slo_max_estimate_qerror is not None and self.slo_max_estimate_qerror < 1:
+            raise ValueError(
+                "slo_max_estimate_qerror must be at least 1 when set "
+                "(a q-error of 1 is a perfect estimate)"
+            )
         if self.slo_interval < 0:
             raise ValueError("slo_interval must be non-negative")
+        if self.calibration_max_records < 1:
+            raise ValueError("calibration_max_records must be at least 1")
 
 
 @dataclass(frozen=True)

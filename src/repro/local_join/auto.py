@@ -85,23 +85,84 @@ class AutoJoin(LocalJoinAlgorithm):
         condition: BandCondition,
     ) -> LocalJoinAlgorithm:
         """Return the kernel this input would run on (without running it)."""
+        kernel, _ = self.decision(s_arr, t_arr, condition)
+        return kernel
+
+    def decision(
+        self,
+        s_arr: np.ndarray,
+        t_arr: np.ndarray,
+        condition: BandCondition,
+    ) -> tuple[LocalJoinAlgorithm, dict]:
+        """Return ``(kernel, decision info)`` without running anything.
+
+        The info dict is the EXPLAIN surface of the selector: the regime
+        that fired, the thresholds it was priced against, the sampled
+        per-dimension window fractions (``None`` in the tiny regime, which
+        skips the probe) and one entry per *rejected* alternative with the
+        reason it lost.
+        """
         from repro.sampling.selectivity import (
             DEFAULT_SELECTIVITY_SAMPLE,
             window_fractions,
         )
 
         n_pairs = s_arr.shape[0] * t_arr.shape[0]
+        info: dict = {
+            "n_pairs": int(n_pairs),
+            "tiny_pairs": self.tiny_pairs,
+            "dense_fraction": self.dense_fraction,
+            "window_fractions": None,
+            "sweep_dimension": None,
+        }
         if n_pairs <= self.tiny_pairs:
-            return NestedLoopJoin()
+            info.update(
+                chosen="nested-loop",
+                regime="tiny",
+                rejected=[
+                    {
+                        "kernel": "sort-sweep",
+                        "reason": f"cross product of {n_pairs} pairs is at or below "
+                        f"tiny_pairs={self.tiny_pairs}; one blocked mask wins",
+                    }
+                ],
+            )
+            return NestedLoopJoin(), info
         sample_size = (
             self.sample_size if self.sample_size is not None else DEFAULT_SELECTIVITY_SAMPLE
         )
         fractions = window_fractions(s_arr, t_arr, condition, sample_size)
         best_dim = int(np.argmin(fractions))
-        if float(fractions[best_dim]) >= self.dense_fraction:
-            return NestedLoopJoin()
-        return SortSweepJoin(
-            sweep_dimension=best_dim, memory_budget=self.memory_budget
+        best = float(fractions[best_dim])
+        info["window_fractions"] = [float(f) for f in fractions]
+        if best >= self.dense_fraction:
+            info.update(
+                chosen="nested-loop",
+                regime="dense",
+                rejected=[
+                    {
+                        "kernel": "sort-sweep",
+                        "reason": f"best window fraction {best:.3f} is at or above "
+                        f"dense_fraction={self.dense_fraction}; windows are not selective",
+                    }
+                ],
+            )
+            return NestedLoopJoin(), info
+        info.update(
+            chosen="sort-sweep",
+            regime="selective",
+            sweep_dimension=best_dim,
+            rejected=[
+                {
+                    "kernel": "nested-loop",
+                    "reason": f"best window fraction {best:.3f} on dimension {best_dim} "
+                    f"is below dense_fraction={self.dense_fraction}",
+                }
+            ],
+        )
+        return (
+            SortSweepJoin(sweep_dimension=best_dim, memory_budget=self.memory_budget),
+            info,
         )
 
     def _dispatch(self, s_values, t_values, condition) -> tuple:

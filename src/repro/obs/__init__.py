@@ -15,10 +15,20 @@ One import surface for the whole system:
 * :mod:`repro.obs.workload` — the workload observatory (traffic capture,
   :class:`Workload` snapshots, SLO monitoring, capture/replay); its main
   names are re-exported here.
+* :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE plan reports with
+  estimate-vs-actual q-error accounting and the persistent cost-model
+  calibration store; its main names are re-exported here.
 """
 
 from repro.obs._state import disable, enable, is_enabled
 from repro.obs.adapters import bind_plan_cache, bind_prepared_query
+from repro.obs.explain import (
+    CalibrationStore,
+    EstimateAccuracyTracker,
+    QueryPlanReport,
+    format_plan_tree,
+    qerror,
+)
 from repro.obs.globals import registry, tracer
 from repro.obs.logconf import get_logger, resolve_level, setup_logging
 from repro.obs.registry import (
@@ -85,4 +95,9 @@ __all__ = [
     "service_probes",
     "pair_fingerprint",
     "replay_log",
+    "CalibrationStore",
+    "EstimateAccuracyTracker",
+    "QueryPlanReport",
+    "format_plan_tree",
+    "qerror",
 ]

@@ -1,0 +1,331 @@
+"""Builds :class:`~repro.obs.explain.report.QueryPlanReport` trees.
+
+EXPLAIN resolves the partitioning through the engine's plan cache (recording
+whether it was cached or optimized on the spot), routes a deterministic row
+sample of both relations through it to estimate per-worker input, splits the
+sampled output estimate across workers by their candidate share, prices the
+expected kernel chunking against the byte budget, and reports the AutoJoin
+selector's decision with the per-dimension window fractions it priced and
+the alternatives it rejected.  No engine dispatch runs.
+
+EXPLAIN ANALYZE additionally executes the query (through whatever callable
+the caller supplies — the service routes it through the scheduler so
+analyzed runs share single-flight and admission control) and grafts the
+measured figures onto the same nodes: true pair counts, per-worker
+input/output/wall-time from the job statistics, and kernel chunk /
+candidate / re-sort totals diffed from the process-wide kernel-profiling
+counters.  Every node with both figures then carries a q-error.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.cost.model import ModelCoefficients, RunningTimeModel
+from repro.local_join import kernels
+from repro.obs.explain.report import PlanNode, QueryPlanReport
+from repro.obs.explain.store import _EXECUTED_PATHS
+
+__all__ = ["build_report", "kernel_counter_totals"]
+
+#: Per-side row-sample size of the routing-based per-worker estimates.
+#: Larger than the selectivity probe's 512 — routing skew matters here —
+#: but still far below any real dispatch.
+ROUTING_SAMPLE: int = 2048
+
+#: Kernel counters diffed around an analyzed execution (process registry).
+#: Help strings mirror :mod:`repro.obs.kernelprof` so whichever side
+#: registers first the exposition reads the same.
+_KERNEL_COUNTERS = (
+    ("chunks", "repro_kernel_chunks_total", "candidate chunks emitted by the kernels"),
+    ("candidates", "repro_kernel_candidates_total", "candidate pairs expanded by the kernels"),
+    ("pairs", "repro_kernel_pairs_total", "pairs surviving the residual masks"),
+    ("resort_probes", "repro_kernel_resort_probes_total", "adaptive expansion-dimension probes"),
+    ("resort_wins", "repro_kernel_resort_wins_total",
+     "chunks expanded on a re-sorted alternative dimension"),
+)
+
+
+def kernel_counter_totals() -> dict:
+    """Sum the kernel-profiling counters across labels (0 when never used)."""
+    from repro.obs import registry
+
+    reg = registry()
+    totals = {}
+    for key, metric, help_text in _KERNEL_COUNTERS:
+        counter = reg.counter(metric, help_text)
+        totals[key] = int(sum(count for _, count in counter.items()))
+    return totals
+
+
+def _sampled_matrix(relation, attributes) -> tuple[np.ndarray, float]:
+    """Return (sample matrix, scale) where scale maps sample counts to full."""
+    from repro.sampling.selectivity import evenly_spaced_indices
+    from repro.service.prepared import gather_rows
+
+    n = len(relation)
+    idx = evenly_spaced_indices(n, ROUTING_SAMPLE)
+    if idx is None:
+        return relation.join_matrix(attributes), 1.0
+    return gather_rows(relation, attributes, idx), n / idx.shape[0]
+
+
+def _worker_counts(plan, matrix: np.ndarray, side: str, scale: float) -> np.ndarray:
+    """Estimate per-worker routed input rows from a sample (full-size scale)."""
+    _, workers = plan.route_to_workers(matrix, side)
+    counts = np.bincount(workers, minlength=plan.workers).astype(float)
+    return counts * scale
+
+
+def _selector_node(prepared, s_sample, t_sample, condition, fractions) -> PlanNode:
+    """Describe the kernel selection this query's tasks would run under."""
+    from repro.local_join.auto import AutoJoin
+
+    algorithm = prepared.engine.algorithm
+    node = PlanNode("selector", attrs={"algorithm": algorithm.name})
+    node.attrs["window_fractions"] = [round(float(f), 6) for f in fractions]
+    if not isinstance(algorithm, AutoJoin):
+        node.attrs["fixed"] = True
+        return node
+    _, info = algorithm.decision(s_sample, t_sample, condition)
+    node.attrs.update(
+        chosen=info["chosen"],
+        regime=info["regime"],
+        tiny_pairs=info["tiny_pairs"],
+        dense_fraction=info["dense_fraction"],
+    )
+    if info.get("sweep_dimension") is not None:
+        node.attrs["sweep_dimension"] = info["sweep_dimension"]
+    for alternative in info["rejected"]:
+        node.child(
+            f"rejected {alternative['kernel']}", reason=alternative["reason"]
+        )
+    return node
+
+
+def build_report(
+    prepared,
+    epsilons=None,
+    analyze: bool = False,
+    execute=None,
+    model: RunningTimeModel | None = None,
+) -> QueryPlanReport:
+    """Build the EXPLAIN (ANALYZE) report of one prepared-query binding.
+
+    Parameters
+    ----------
+    prepared:
+        The :class:`~repro.service.prepared.PreparedQuery` to introspect.
+    epsilons:
+        Epsilon binding (defaults apply as in ``execute``).
+    analyze:
+        Execute and graft actuals when ``True``.
+    execute:
+        Execution callable ``(ekey) -> QueryResult`` used under ``analyze``
+        (defaults to ``prepared.execute``; the service passes a
+        scheduler-routed closure).
+    model:
+        Running-time model pricing the plan; defaults to the betas derived
+        from the engine's load weights (pass a calibrated model to price in
+        real seconds).
+    """
+    from repro.sampling.selectivity import window_fractions
+
+    started = time.perf_counter()
+    ekey = prepared.resolve_epsilons(epsilons)
+    condition = prepared.condition(ekey)
+    s_snap, t_snap = prepared.snapshots()
+
+    plan, plan_cached = prepared.engine.plan_cache.get_or_build(
+        prepared.partitioner, s_snap.base, t_snap.base, condition, prepared.workers
+    )
+
+    s_sample, s_scale = _sampled_matrix(s_snap.full, prepared.attributes)
+    t_sample, t_scale = _sampled_matrix(t_snap.full, prepared.attributes)
+    s_counts = _worker_counts(plan, s_sample, "S", s_scale)
+    t_counts = _worker_counts(plan, t_sample, "T", t_scale)
+    fractions = window_fractions(s_sample, t_sample, condition)
+    best_fraction = float(fractions.min()) if fractions.size else 0.0
+
+    est_pairs = float(prepared.estimate_pairs(ekey))
+    est_output_total = float(prepared.sampled_estimate(ekey))
+    # Split the output estimate across workers by candidate share: a worker
+    # holding many rows of both sides produces proportionally more pairs.
+    products = s_counts * t_counts
+    product_total = float(products.sum())
+    output_shares = (
+        products / product_total
+        if product_total > 0
+        else np.full(plan.workers, 1.0 / plan.workers)
+    )
+    est_outputs = est_output_total * output_shares
+    est_candidates = best_fraction * products
+    budget = getattr(prepared.engine.backend, "memory_budget", None)
+    if not budget or budget < 1:
+        budget = kernels.DEFAULT_MEMORY_BUDGET
+    chunk_capacity = kernels.max_candidates(budget)
+
+    weights = prepared.engine.weights
+    # A caller-supplied model is calibrated in wall seconds, so its
+    # prediction is comparable to the measured execution time (q-error
+    # applies).  The default, derived from the load weights, prices the plan
+    # in abstract load units — recorded under a distinct key so EXPLAIN
+    # ANALYZE never derives a unitless-vs-seconds q-error.
+    calibrated = model is not None
+    if model is None:
+        model = RunningTimeModel(
+            ModelCoefficients(
+                beta0=0.0,
+                beta1=1.0,
+                beta2=float(weights.beta_input),
+                beta3=float(weights.beta_output),
+            )
+        )
+    est_total_input = float(s_counts.sum() + t_counts.sum())
+    est_max_input = float((s_counts + t_counts).max()) if plan.workers else 0.0
+    est_max_output = float(est_outputs.max()) if est_outputs.size else 0.0
+
+    root = PlanNode(
+        "band_join",
+        attrs={
+            "query": getattr(prepared, "name", None)
+            or f"{prepared.s_name}⋈{prepared.t_name}",
+            "s": f"{prepared.s_name} v{s_snap.version} ({s_snap.rows:,} rows)",
+            "t": f"{prepared.t_name} v{t_snap.version} ({t_snap.rows:,} rows)",
+            "backend": prepared.engine.backend.name,
+            "workers": prepared.workers,
+        },
+    ).estimate(pairs=est_pairs)
+
+    plan_node = root.child(
+        "partitioning",
+        method=plan.method,
+        units=plan.n_units,
+        plan_cached=plan_cached,
+        optimization_seconds=round(plan.stats.optimization_seconds, 6),
+    ).estimate(
+        total_input=est_total_input,
+        max_input=est_max_input,
+        output=est_output_total,
+    )
+    stats = plan.stats
+    if stats.estimated_total_input is not None or stats.estimated_output is not None:
+        plan_node.child("optimizer", source="partitioning sample over base rows").estimate(
+            total_input=stats.estimated_total_input,
+            max_load=stats.estimated_max_load,
+            output=stats.estimated_output,
+        )
+    worker_nodes = []
+    for w in range(plan.workers):
+        candidates = float(est_candidates[w])
+        worker_nodes.append(
+            plan_node.child(f"worker {w}").estimate(
+                input=float(s_counts[w] + t_counts[w]),
+                output=float(est_outputs[w]),
+                candidates=candidates,
+                kernel_chunks=float(math.ceil(candidates / chunk_capacity))
+                if candidates > 0
+                else 0.0,
+            )
+        )
+
+    root.children.append(
+        _selector_node(prepared, s_sample, t_sample, condition, fractions)
+    )
+    cost_node = root.child(
+        "cost_model",
+        calibrated=calibrated,
+        betas={
+            "beta0": model.coefficients.beta0,
+            "beta1": model.coefficients.beta1,
+            "beta2": model.coefficients.beta2,
+            "beta3": model.coefficients.beta3,
+        },
+    )
+    predicted = model.predict(est_total_input, est_max_input, est_max_output)
+    if calibrated:
+        cost_node.estimate(seconds=predicted)
+    else:
+        cost_node.estimate(cost=predicted)
+        cost_node.attrs["cost_units"] = "load units (uncalibrated)"
+
+    report = QueryPlanReport(
+        query=root.attrs["query"],
+        s_name=prepared.s_name,
+        t_name=prepared.t_name,
+        epsilons=ekey,
+        analyze=analyze,
+        root=root,
+    )
+    if not analyze:
+        report.seconds = time.perf_counter() - started
+        return report
+
+    # ---------------- EXPLAIN ANALYZE: execute and graft actuals ---------- #
+    counters_before = kernel_counter_totals()
+    exec_started = time.perf_counter()
+    result = (execute or prepared.execute)(ekey)
+    exec_seconds = time.perf_counter() - exec_started
+    counters_after = kernel_counter_totals()
+
+    report.path = result.path
+    root.actual(pairs=result.n_pairs, seconds=result.seconds)
+    job = result.job
+    if result.path in _EXECUTED_PATHS:
+        # The cost model prices *executing* the plan; a cache-served request
+        # never did, so its wall time is not a comparable actual.
+        cost_node.actual(seconds=exec_seconds)
+    if result.path not in _EXECUTED_PATHS or job is None:
+        # Cache-served run: nothing dispatched *now*, so per-worker and
+        # kernel actuals are structurally absent rather than zero (a cached
+        # QueryResult still carries the job stats of the run that produced
+        # it, which would misattribute that run's wall times to this one).
+        root.attrs["served_from_cache"] = True
+    else:
+        plan_node.actual(
+            total_input=job.total_input,
+            max_input=job.max_worker_input(weights),
+            output=job.total_output,
+        )
+        for child in plan_node.children:
+            if child.name == "optimizer":
+                child.actual(
+                    total_input=job.total_input,
+                    max_load=job.max_worker_load(weights),
+                    output=job.total_output,
+                )
+        by_id = {w.worker_id: w for w in job.workers}
+        for w, node in enumerate(worker_nodes):
+            actual = by_id.get(w)
+            if actual is None:
+                continue
+            node.actual(
+                input=actual.input_total,
+                output=actual.output,
+                seconds=actual.local_seconds,
+            )
+        deltas = {
+            key: counters_after[key] - counters_before[key]
+            for key in counters_after
+        }
+        if any(deltas.values()):
+            kernel_node = root.child(
+                "kernels", source="repro_kernel_* counter deltas"
+            ).estimate(
+                chunks=float(
+                    sum(node.estimates.get("kernel_chunks", 0.0) for node in worker_nodes)
+                ),
+                candidates=float(est_candidates.sum()),
+            )
+            kernel_node.actual(
+                chunks=deltas["chunks"],
+                candidates=deltas["candidates"],
+                pairs=deltas["pairs"],
+                resort_probes=deltas["resort_probes"],
+                resort_wins=deltas["resort_wins"],
+            )
+    report.seconds = time.perf_counter() - started
+    return report

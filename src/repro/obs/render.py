@@ -1,0 +1,56 @@
+"""Shared tree rendering for human-facing observability surfaces.
+
+Both the trace pretty-printer (``repro-bandjoin stats --trace``) and the
+EXPLAIN plan renderer show the same shape: a header line followed by an
+indented tree where each node contributes one line.  :func:`render_tree`
+owns the indentation/bullet convention so the two surfaces stay visually
+consistent; each caller supplies only a label function.
+
+The convention (kept bit-compatible with the original trace formatter):
+depth 0 prints flush-left with no bullet, deeper nodes print
+``"  " * depth`` indentation plus a ``"- "`` bullet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+__all__ = ["render_tree", "format_attrs"]
+
+
+def format_attrs(attrs: dict | None) -> str:
+    """Render an attribute dict as the standard ``[k=v k=v]`` suffix (or '')."""
+    if not attrs:
+        return ""
+    return "  [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]"
+
+
+def render_tree(
+    root: dict,
+    label: Callable[[dict, int], str],
+    children: Callable[[dict], Sequence] = lambda node: node.get("children", ()),
+    lines: list[str] | None = None,
+    depth: int = 0,
+) -> list[str]:
+    """Render one node tree into indented lines, one line per node.
+
+    Parameters
+    ----------
+    root:
+        The tree root (any mapping; structure is entirely up to ``children``).
+    label:
+        ``(node, depth) -> str`` producing the node's line text (without
+        indentation — the renderer owns that).
+    children:
+        Accessor returning a node's ordered child sequence.
+    lines / depth:
+        Recursion state; callers normally leave both at their defaults and
+        receive the fresh line list back.
+    """
+    if lines is None:
+        lines = []
+    indent = "  " * depth + ("- " if depth else "")
+    lines.append(indent + label(root, depth))
+    for child in children(root):
+        render_tree(child, label, children, lines, depth + 1)
+    return lines

@@ -376,29 +376,26 @@ class Tracer:
             self._finished.clear()
 
 
-def _format_node(node: dict, root_duration: float, depth: int, lines: list[str]) -> None:
-    duration_ms = node["duration"] * 1e3
-    share = (
-        f" ({node['duration'] / root_duration * 100.0:.1f}%)"
-        if root_duration > 0 and depth > 0
-        else ""
-    )
-    attrs = node.get("attrs") or {}
-    extras = " ".join(f"{k}={v}" for k, v in attrs.items())
-    indent = "  " * depth + ("- " if depth else "")
-    lines.append(
-        f"{indent}{node['name']} {duration_ms:.3f} ms{share}"
-        + (f"  [{extras}]" if extras else "")
-    )
-    for child in node.get("children", ()):
-        _format_node(child, root_duration, depth + 1, lines)
-
-
 def format_trace_tree(trace: dict) -> str:
     """Pretty-print one trace dict (as returned by :meth:`Tracer.recent`)."""
+    from repro.obs.render import format_attrs, render_tree
+
     root = trace.get("root")
     if root is None:
         return f"trace {trace.get('trace_id')}: <empty>"
+    root_duration = float(root.get("duration") or 0.0)
+
+    def span_label(node: dict, depth: int) -> str:
+        share = (
+            f" ({node['duration'] / root_duration * 100.0:.1f}%)"
+            if root_duration > 0 and depth > 0
+            else ""
+        )
+        return (
+            f"{node['name']} {node['duration'] * 1e3:.3f} ms{share}"
+            + format_attrs(node.get("attrs"))
+        )
+
     lines = [f"trace {trace.get('trace_id')} ({trace.get('spans')} spans)"]
-    _format_node(root, float(root.get("duration") or 0.0), 0, lines)
+    render_tree(root, span_label, lines=lines)
     return "\n".join(lines)

@@ -2,7 +2,8 @@
 
 An :class:`SLO` names one objective over one measurable signal — currently
 the p99 total latency, the failed-request fraction, the result-cache hit
-rate and the scheduler queue depth.  :class:`SLOMonitor` evaluates a set of
+rate, the scheduler queue depth and the cost model's recent estimate
+q-error (sustained miscalibration is a health problem like any other).  :class:`SLOMonitor` evaluates a set of
 objectives against *probes* (zero-argument callables the owning service
 supplies, so the monitor never reaches into service internals), either on a
 background cadence or on demand, and turns violations into structured
@@ -35,6 +36,7 @@ SLO_KINDS: dict[str, str] = {
     "error_rate": "max",
     "cache_hit_rate": "min",
     "queue_depth": "max",
+    "estimate_qerror": "max",
 }
 
 
@@ -83,6 +85,7 @@ def service_probes(service) -> dict:
         "error_rate": error_rate,
         "cache_hit_rate": cache_hit_rate,
         "queue_depth": lambda: float(service.scheduler.pending),
+        "estimate_qerror": lambda: service.calibration.mean_qerror(),
     }
 
 

@@ -23,6 +23,7 @@ re-optimization plus a full re-join.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -219,6 +220,7 @@ class PreparedQuery:
         self._lock = threading.Lock()
         self._results: OrderedDict = OrderedDict()       # (sv, tv, ekey) -> QueryResult
         self._base_results: OrderedDict = OrderedDict()  # (sbv, tbv, ekey) -> QueryResult
+        self._sampled_estimates: OrderedDict = OrderedDict()  # (sv, tv, ekey, k) -> float
         # Validate the schema eagerly so prepare() fails fast.
         for name in (s_name, t_name):
             snapshot = catalog.get(name)
@@ -377,11 +379,33 @@ class PreparedQuery:
         """Cheaply estimate the output cardinality of one epsilon binding.
 
         A cached materialized result for the current catalog versions is
-        answered exactly; otherwise a sampled band-selectivity probe
-        (:func:`repro.sampling.selectivity.estimate_join_output` — a few
-        hundred rows per side, one ``searchsorted`` pair per dimension) gives
-        the order of magnitude without touching the engine.  The scheduler's
-        admission control prices queries with this before enqueueing them.
+        answered exactly; otherwise the memoized sampled probe of
+        :meth:`sampled_estimate` gives the order of magnitude without
+        touching the engine.  The scheduler's admission control prices
+        queries with this before enqueueing them.
+        """
+        s_snap, t_snap = self.snapshots()
+        ekey = self.epsilon_key(epsilons)
+        with self._lock:
+            hit = self._results.get((s_snap.version, t_snap.version, ekey))
+        if hit is not None:
+            return float(hit.n_pairs)
+        return self.sampled_estimate(ekey, sample_size)
+
+    def sampled_estimate(self, epsilons=None, sample_size: int | None = None) -> float:
+        """Return the purely sampled output-cardinality estimate.
+
+        Unlike :meth:`estimate_pairs` this never consults the result cache —
+        it is what the *planner believed* before execution, which is what
+        EXPLAIN ANALYZE and the calibration store must compare actuals
+        against (otherwise an analyzed run whose result was just stored would
+        report a tautological q-error of 1.0).
+
+        The probe (a band-selectivity estimate over evenly spaced row samples
+        — one ``searchsorted`` pair per dimension) is memoized per
+        ``(s version, t version, epsilons, sample size)``, so repeated
+        admission-control or explain calls against unchanged relations pay
+        the sampling cost once.
         """
         from repro.sampling.selectivity import (
             DEFAULT_SELECTIVITY_SAMPLE,
@@ -390,18 +414,47 @@ class PreparedQuery:
 
         s_snap, t_snap = self.snapshots()
         ekey = self.epsilon_key(epsilons)
-        with self._lock:
-            hit = self._results.get((s_snap.version, t_snap.version, ekey))
-        if hit is not None:
-            return float(hit.n_pairs)
-        condition = self.condition(ekey)
         k = sample_size if sample_size is not None else DEFAULT_SELECTIVITY_SAMPLE
+        memo_key = (s_snap.version, t_snap.version, ekey, k)
+        with self._lock:
+            cached = self._sampled_estimates.get(memo_key)
+            if cached is not None:
+                self._sampled_estimates.move_to_end(memo_key)
+                return cached
+        condition = self.condition(ekey)
         # Gather only the sampled rows — never the full (n, d) join matrices;
         # the probe must stay O(k log k) however large the relations grow.
         s_sample = _sampled_join_matrix(s_snap.full, self.attributes, k)
         t_sample = _sampled_join_matrix(t_snap.full, self.attributes, k)
         selectivity = estimate_join_selectivity(s_sample, t_sample, condition, k)
-        return selectivity * len(s_snap.full) * len(t_snap.full)
+        estimate = selectivity * len(s_snap.full) * len(t_snap.full)
+        # The estimate is a pair count; the divide-then-multiply round trip
+        # through the selectivity leaves ulp-level noise on what is an exact
+        # integer when the probe sampled the relations in full.  Snap it so
+        # the deterministic case reports a q-error of exactly 1.0.
+        nearest = round(estimate)
+        if math.isclose(estimate, nearest, rel_tol=1e-12, abs_tol=0.0):
+            estimate = float(nearest)
+        with self._lock:
+            self._sampled_estimates[memo_key] = estimate
+            self._sampled_estimates.move_to_end(memo_key)
+            while len(self._sampled_estimates) > self.result_cache_size:
+                self._sampled_estimates.popitem(last=False)
+        return estimate
+
+    def explain(self, epsilons=None, analyze: bool = False, execute=None, model=None):
+        """Return the :class:`~repro.obs.explain.report.QueryPlanReport`.
+
+        Plain EXPLAIN plans without executing; ``analyze=True`` executes
+        (through ``execute`` when given — the service passes a
+        scheduler-routed closure so analyzed runs share admission control)
+        and grafts measured actuals plus q-errors onto every estimate node.
+        ``model`` prices the plan with a calibrated running-time model (in
+        seconds) instead of the default load-weight pricing.
+        """
+        from repro.obs.explain import build_report
+
+        return build_report(self, epsilons, analyze=analyze, execute=execute, model=model)
 
     def count(self, epsilons=None) -> int:
         """Return the exact output cardinality without materializing pairs.

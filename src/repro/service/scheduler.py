@@ -226,6 +226,10 @@ class QueryScheduler:
         Optional :class:`~repro.obs.workload.recorder.QueryLogRecorder`;
         when present every request outcome (completed, deduplicated,
         rejected, failed) is captured as a structured workload event.
+    calibration:
+        Optional :class:`~repro.obs.explain.store.EstimateAccuracyTracker`;
+        when present every *executed* completion (cache-served paths are
+        skipped) is handed over for estimate-vs-actual accounting.
     """
 
     def __init__(
@@ -236,6 +240,7 @@ class QueryScheduler:
         max_estimated_pairs: int | None = None,
         registry: MetricsRegistry | None = None,
         recorder=None,
+        calibration=None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -250,6 +255,7 @@ class QueryScheduler:
         self.max_estimated_pairs = max_estimated_pairs
         self.metrics = SchedulerMetrics(registry=registry)
         self.recorder = recorder
+        self.calibration = calibration
         # Capture-template memo: everything about a completed query event
         # except its timings is determined by (query, epsilons, catalog
         # versions) — including the result fingerprint, which would
@@ -527,6 +533,11 @@ class QueryScheduler:
                 exec_seconds=done - request.started_at,
             )
             self._record_completed(request, result, done)
+            if self.calibration is not None:
+                # observe() itself skips cache-served paths and never raises.
+                self.calibration.observe(
+                    request.prepared, request.ekey, result, done - request.started_at
+                )
         if len(batch) > 1:
             self.metrics.record_batched(len(batch) - 1)
         # Telemetry is finalised before the futures resolve: a caller ending

@@ -22,6 +22,9 @@ Operations::
     {"op": "trace", "n": 3}     — recent query traces as JSON span trees
     {"op": "health"}            — SLO evaluation (healthy flag + breaches)
     {"op": "workload"}          — Workload snapshot of the captured traffic
+    {"op": "explain", "query": "q", "epsilons": [0.02], "analyze": true}
+                                — EXPLAIN (ANALYZE) plan report as JSON
+    {"op": "calibrate"}         — refit the cost-model betas from the store
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
 the connection survives malformed requests.  Query requests are traced end
@@ -95,6 +98,19 @@ def handle_request(service: BandJoinService, request: dict) -> dict:
         return {"ok": True, "health": service.health()}
     if op == "workload":
         return {"ok": True, "workload": service.workload_snapshot().to_dict()}
+    if op == "explain":
+        report = service.explain(
+            _require(request, "query"),
+            request.get("epsilons"),
+            analyze=bool(request.get("analyze", False)),
+        )
+        return {"ok": True, "explain": report.to_dict()}
+    if op == "calibrate":
+        min_records = request.get("min_records")
+        report = service.calibrate(
+            int(min_records) if min_records is not None else None
+        )
+        return {"ok": True, "calibration": report.to_dict()}
     raise ServiceError(f"unknown operation {op!r}")
 
 

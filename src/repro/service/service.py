@@ -28,6 +28,7 @@ from repro.engine.engine import ParallelJoinEngine
 from repro.engine.plan_cache import PlanCache
 from repro.exceptions import ServiceError
 from repro.obs import MetricsRegistry, bind_plan_cache, bind_prepared_query, get_logger
+from repro.obs.explain import CalibrationStore, EstimateAccuracyTracker
 from repro.obs.workload import (
     SLO,
     QueryLogRecorder,
@@ -104,6 +105,19 @@ class BandJoinService:
             staleness_threshold=self.config.staleness_threshold,
             on_stale=self._on_stale if self.config.compaction != "off" else None,
         )
+        #: Persistent (estimate, actual, features) spool when a calibration
+        #: log is configured; in-memory otherwise.  ``calibrate()`` on it
+        #: refits the running-time betas from analyzed runs.
+        self.calibration_store = CalibrationStore(
+            path=self.config.calibration_log,
+            max_records=self.config.calibration_max_records,
+        )
+        #: Live estimate-vs-actual accounting: the scheduler hands it every
+        #: executed completion; it feeds the ``repro_estimate_qerror``
+        #: histogram, the ``estimate_qerror`` SLO probe and the store.
+        self.calibration = EstimateAccuracyTracker(
+            registry=self.registry, store=self.calibration_store
+        )
         self.scheduler = QueryScheduler(
             max_workers=self.config.scheduler_workers,
             max_pending=self.config.max_pending,
@@ -111,6 +125,7 @@ class BandJoinService:
             max_estimated_pairs=self.config.max_estimated_pairs,
             registry=self.registry,
             recorder=self.recorder,
+            calibration=self.calibration,
         )
         self.partitioner = partitioner
         self._prepared: dict[str, PreparedQuery] = {}
@@ -144,6 +159,14 @@ class BandJoinService:
         if self.config.slo_queue_depth is not None:
             objectives.append(
                 SLO("queue_depth", "queue_depth", float(self.config.slo_queue_depth))
+            )
+        if self.config.slo_max_estimate_qerror is not None:
+            objectives.append(
+                SLO(
+                    "estimate_qerror",
+                    "estimate_qerror",
+                    self.config.slo_max_estimate_qerror,
+                )
             )
         return objectives
 
@@ -255,6 +278,45 @@ class BandJoinService:
         self._check_open()
         return self.scheduler.submit(self.prepared(query_name), epsilons)
 
+    def explain(self, query_name: str, epsilons=None, analyze: bool = False):
+        """EXPLAIN (ANALYZE) one prepared query.
+
+        Returns the :class:`~repro.obs.explain.report.QueryPlanReport`:
+        the chosen partitioning with per-worker cost-model estimates, the
+        plan-cache provenance and the kernel selector's decision.  With
+        ``analyze=True`` the query executes *through the scheduler* (so
+        analyzed runs share single-flight, admission control and the
+        calibration accounting) and every estimate node carries the measured
+        actual plus its q-error.
+
+        Once the calibration store holds enough analyzed runs, the plan is
+        priced with the refit running-time model (in seconds); before that
+        the cost-model node reports abstract load units.
+        """
+        self._check_open()
+        prepared = self.prepared(query_name)
+        try:
+            model = self.calibration_store.calibrate().model
+        except Exception:  # noqa: BLE001 - pricing falls back to load units
+            model = None
+        return prepared.explain(
+            epsilons,
+            analyze=analyze,
+            execute=lambda ekey: self.scheduler.query(prepared, ekey),
+            model=model,
+        )
+
+    def calibrate(self, min_records: int | None = None):
+        """Refit the cost-model betas from the calibration store's records.
+
+        Returns the :class:`~repro.obs.explain.store.CalibrationReport`;
+        raises :class:`~repro.exceptions.CostModelError` until enough
+        executed runs have been recorded.
+        """
+        if min_records is not None:
+            return self.calibration_store.calibrate(min_records=min_records)
+        return self.calibration_store.calibrate()
+
     # ------------------------------------------------------------------ #
     # Staleness maintenance
     # ------------------------------------------------------------------ #
@@ -331,6 +393,7 @@ class BandJoinService:
             "backend": self.engine.backend.name,
             "telemetry": obs.is_enabled(),
             "capture": self.recorder.describe() if self.recorder is not None else None,
+            "calibration": self.calibration.describe(),
         }
 
     def health(self) -> dict:

@@ -1,0 +1,574 @@
+"""Tests for EXPLAIN / EXPLAIN ANALYZE and the cost-model calibration store.
+
+The load-bearing properties: EXPLAIN never executes anything; EXPLAIN
+ANALYZE's actual pair counts match the executed pair-set sizes exactly (for
+every backend and local kernel), with finite q-errors — exactly 1.0 in the
+deterministic cases (1-D inputs small enough that the selectivity probe
+samples the full relations, and analyzed runs served from the result
+cache); and the calibration store is a bounded, torn-line-tolerant JSONL
+spool whose ``calibrate()`` refits betas once enough runs are recorded.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServiceConfig
+from repro.exceptions import CostModelError
+from repro.geometry.band import BandCondition
+from repro.local_join.auto import AutoJoin
+from repro.obs.explain import (
+    MIN_CALIBRATION_RECORDS,
+    CalibrationStore,
+    EstimateAccuracyTracker,
+    PlanNode,
+    format_plan_tree,
+    qerror,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.workload.slo import SLO, SLO_KINDS, SLOMonitor
+from repro.service import BandJoinService, serve_lines
+from repro.service.server import handle_request
+
+
+def explain_service(**overrides) -> BandJoinService:
+    defaults = dict(
+        backend="serial", compaction="sync", scheduler_workers=2, slo_interval=0.0
+    )
+    defaults.update(overrides)
+    return BandJoinService(ServiceConfig(**defaults))
+
+
+def register_pair(service, rng, n_s=300, n_t=300, dims=1):
+    names = [f"A{i + 1}" for i in range(dims)]
+    service.register("S", {a: rng.uniform(0, 1, n_s) for a in names})
+    service.register("T", {a: rng.uniform(0, 1, n_t) for a in names})
+    service.prepare("q", "S", "T", attributes=names, epsilons=0.05)
+    return names
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert qerror(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert qerror(5, 20) == qerror(20, 5) == 4.0
+
+    def test_both_zero_agree(self):
+        assert qerror(0, 0) == 1.0
+
+    def test_one_zero_is_infinite(self):
+        assert math.isinf(qerror(0, 7))
+        assert math.isinf(qerror(7, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            qerror(-1, 2)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        estimate=st.floats(1e-6, 1e12),
+        actual=st.floats(1e-6, 1e12),
+    )
+    def test_at_least_one_and_symmetric(self, estimate, actual):
+        q = qerror(estimate, actual)
+        assert q >= 1.0
+        assert q == qerror(actual, estimate)
+
+
+class TestPlanNode:
+    def test_qerrors_only_for_shared_keys(self):
+        node = PlanNode("n").estimate(a=10, b=5).actual(a=20)
+        assert node.qerrors() == {"a": 2.0}
+
+    def test_none_values_skipped(self):
+        node = PlanNode("n").estimate(a=None, b=3).actual(b=None)
+        assert node.estimates == {"b": 3.0} and node.actuals == {}
+
+    def test_max_qerror_recurses(self):
+        root = PlanNode("root").estimate(x=1).actual(x=1)
+        child = root.child("child").estimate(y=2).actual(y=8)
+        child.child("leaf").estimate(z=3).actual(z=9)
+        assert root.max_qerror() == 4.0
+
+    def test_max_qerror_none_without_pairs(self):
+        root = PlanNode("root").estimate(x=1)
+        root.child("child")
+        assert root.max_qerror() is None
+
+    def test_to_dict_serializes_inf(self):
+        node = PlanNode("n").estimate(a=0).actual(a=5)
+        assert node.to_dict()["qerrors"]["a"] == "inf"
+
+
+class TestSelectorDecision:
+    def test_tiny_regime(self):
+        algorithm = AutoJoin(tiny_pairs=100)
+        s = np.zeros((5, 1))
+        t = np.zeros((5, 1))
+        kernel, info = algorithm.decision(s, t, BandCondition.symmetric(["A1"], 0.1))
+        assert kernel.name == "nested-loop"
+        assert info["regime"] == "tiny"
+        assert info["window_fractions"] is None
+        assert info["rejected"][0]["kernel"] == "sort-sweep"
+
+    def test_dense_regime(self, rng):
+        algorithm = AutoJoin(tiny_pairs=0, dense_fraction=0.5)
+        s = rng.uniform(0, 1, (200, 1))
+        t = rng.uniform(0, 1, (200, 1))
+        kernel, info = algorithm.decision(s, t, BandCondition.symmetric(["A1"], 10.0))
+        assert kernel.name == "nested-loop"
+        assert info["regime"] == "dense"
+        assert info["window_fractions"][0] >= 0.5
+
+    def test_selective_regime_picks_best_dimension(self, rng):
+        algorithm = AutoJoin(tiny_pairs=0, dense_fraction=0.5)
+        s = rng.uniform(0, 1, (200, 2))
+        t = rng.uniform(0, 1, (200, 2))
+        condition = BandCondition({"A1": (0.4, 0.4), "A2": (0.01, 0.01)})
+        kernel, info = algorithm.decision(s, t, condition)
+        assert kernel.name == "sort-sweep"
+        assert info["regime"] == "selective"
+        assert info["sweep_dimension"] == 1
+        assert info["chosen"] == "sort-sweep"
+
+    def test_select_consistent_with_decision(self, rng):
+        algorithm = AutoJoin()
+        s = rng.uniform(0, 1, (50, 1))
+        t = rng.uniform(0, 1, (50, 1))
+        condition = BandCondition.symmetric(["A1"], 0.05)
+        kernel, info = algorithm.decision(s, t, condition)
+        assert algorithm.select(s, t, condition).name == kernel.name == info["chosen"]
+
+
+class TestSampledEstimateMemo:
+    def test_estimate_pairs_samples_once(self, rng, monkeypatch):
+        """Satellite fix: repeated estimate calls must not re-sample."""
+        import repro.service.prepared as prepared_mod
+
+        with explain_service() as service:
+            register_pair(service, rng)
+            prepared = service.prepared("q")
+            calls = {"n": 0}
+            real = prepared_mod._sampled_join_matrix
+
+            def counting(*args, **kwargs):
+                calls["n"] += 1
+                return real(*args, **kwargs)
+
+            monkeypatch.setattr(prepared_mod, "_sampled_join_matrix", counting)
+            first = prepared.estimate_pairs()
+            sampled_once = calls["n"]
+            assert sampled_once == 2  # one gather per side
+            assert prepared.estimate_pairs() == first
+            assert prepared.sampled_estimate() == first
+            assert calls["n"] == sampled_once
+
+    def test_append_invalidates_the_memo(self, rng):
+        with explain_service(staleness_threshold=10.0) as service:
+            register_pair(service, rng)
+            prepared = service.prepared("q")
+            before = prepared.sampled_estimate()
+            service.append("S", {"A1": rng.uniform(0, 1, 200)})
+            after = prepared.sampled_estimate()
+            # New catalog version -> new memo entry over more rows.
+            assert after != pytest.approx(before)
+
+    def test_sampled_estimate_ignores_result_cache(self, rng):
+        """The planner's belief must survive the exact answer being cached."""
+        with explain_service() as service:
+            register_pair(service, rng)
+            prepared = service.prepared("q")
+            sampled = prepared.sampled_estimate()
+            result = service.query("q")
+            assert prepared.estimate_pairs() == float(result.n_pairs)  # exact-first
+            assert prepared.sampled_estimate() == sampled
+
+
+class TestExplain:
+    def test_explain_does_not_execute(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            report = service.explain("q")
+            assert not report.analyze and report.path is None
+            assert service.prepared("q").stats.executions == 0
+            assert report.root.estimates["pairs"] > 0
+            assert report.root.actuals == {}
+
+    def test_plan_cache_provenance(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            first = service.explain("q")
+            second = service.explain("q")
+
+            def plan_node(report):
+                return next(c for c in report.root.children if c.name == "partitioning")
+
+            assert plan_node(first).attrs["plan_cached"] is False
+            assert plan_node(second).attrs["plan_cached"] is True
+
+    def test_selector_node_reports_auto_decision(self, rng):
+        with explain_service(local_algorithm="auto") as service:
+            register_pair(service, rng)
+            report = service.explain("q")
+            selector = next(c for c in report.root.children if c.name == "selector")
+            assert selector.attrs["algorithm"] == "auto"
+            assert selector.attrs["chosen"] in ("nested-loop", "sort-sweep")
+            assert selector.attrs["regime"] in ("tiny", "dense", "selective")
+            assert any(c.name.startswith("rejected") for c in selector.children)
+            assert "window_fractions" in selector.attrs
+
+    def test_analyze_actual_pairs_match_execution_exactly(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            report = service.explain("q", analyze=True)
+            exact = service.query("q").n_pairs
+            assert report.analyze and report.path in ("cold", "plan_cache")
+            assert report.root.actuals["pairs"] == float(exact)
+            worst = report.max_qerror()
+            assert worst is not None and math.isfinite(worst)
+
+    def test_deterministic_1d_full_sample_has_unit_qerror(self, rng):
+        """1-D inputs within the probe's sample size are estimated exactly."""
+        with explain_service() as service:
+            register_pair(service, rng, n_s=300, n_t=400)  # both <= 512
+            report = service.explain("q", analyze=True)
+            assert report.root.qerrors()["pairs"] == 1.0
+
+    def test_analyze_of_a_cached_result_is_exact(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng, dims=2)
+            service.query("q")
+            report = service.explain("q", analyze=True)
+            assert report.path == "result_cache"
+            assert report.root.attrs.get("served_from_cache") is True
+            assert report.root.qerrors()["pairs"] == 1.0
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize(
+        "algorithm", ["auto", "sort-sweep", "index-nested-loop", "nested-loop"]
+    )
+    def test_analyze_matches_pair_sets_across_backends_and_kernels(
+        self, backend, algorithm
+    ):
+        """Randomized property: analyzed actuals == executed pair-set sizes."""
+        for seed in (3, 11):
+            rng = np.random.default_rng(seed)
+            with explain_service(backend=backend, local_algorithm=algorithm) as service:
+                dims = int(rng.integers(1, 3))
+                register_pair(
+                    service,
+                    rng,
+                    n_s=int(rng.integers(50, 400)),
+                    n_t=int(rng.integers(50, 400)),
+                    dims=dims,
+                )
+                eps = float(rng.uniform(0.005, 0.1))
+                report = service.explain("q", epsilons=eps, analyze=True)
+                expected = service.query("q", epsilons=eps).n_pairs
+                assert report.root.actuals["pairs"] == float(expected)
+                worst = report.max_qerror()
+                assert worst is not None and math.isfinite(worst)
+                if dims == 1:
+                    assert report.root.qerrors()["pairs"] == 1.0
+
+    def test_per_worker_nodes_carry_estimates_and_actuals(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            report = service.explain("q", analyze=True)
+            plan = next(c for c in report.root.children if c.name == "partitioning")
+            workers = [c for c in plan.children if c.name.startswith("worker")]
+            assert workers
+            for node in workers:
+                assert "input" in node.estimates and "input" in node.actuals
+                assert node.qerrors()["input"] >= 1.0
+
+    def test_report_serialization_and_render(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            report = service.explain("q", analyze=True)
+            payload = json.loads(json.dumps(report.to_dict()))
+            assert payload["analyze"] is True
+            assert payload["plan"]["name"] == "band_join"
+            text = format_plan_tree(payload)
+            assert text.startswith("EXPLAIN ANALYZE q")
+            assert "partitioning" in text and "(actual" in text and "q=" in text
+            assert report.render() == text
+
+
+class TestCalibrationStore:
+    def _record(self, i, qerr=1.0):
+        return {
+            "estimate": 100.0 + i,
+            "actual": 100 + i,
+            "qerror": qerr,
+            "seconds": 0.01 + 0.001 * i,
+            "betas": {"beta0": 0.0, "beta1": 1.0, "beta2": 4.0, "beta3": 1.0},
+            "features": {
+                "total_input": 1000 + 10 * i,
+                "max_input": 200 + i,
+                "max_output": 300 + 2 * i,
+            },
+        }
+
+    def test_in_memory_bounding(self):
+        store = CalibrationStore(max_records=5)
+        for i in range(12):
+            store.append(self._record(i))
+        records = store.records()
+        assert len(records) == 5
+        assert records[-1]["estimate"] == 111.0
+
+    def test_disk_spool_compacts(self, tmp_path):
+        path = tmp_path / "calibration.jsonl"
+        store = CalibrationStore(path=str(path), max_records=10)
+        for i in range(25):
+            store.append(self._record(i))
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) <= 2 * 10
+        assert len(store.records()) == 10
+
+    def test_reopen_recovers_records(self, tmp_path):
+        path = tmp_path / "calibration.jsonl"
+        CalibrationStore(path=str(path)).append(self._record(1))
+        reopened = CalibrationStore(path=str(path))
+        assert len(reopened) == 1
+        assert reopened.records()[0]["estimate"] == 101.0
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = tmp_path / "calibration.jsonl"
+        store = CalibrationStore(path=str(path))
+        store.append(self._record(1))
+        with open(path, "a", encoding="utf-8") as spool:
+            spool.write('{"torn": tru')  # interrupted write
+        assert len(CalibrationStore(path=str(path)).records()) == 1
+
+    def test_calibrate_needs_enough_records(self):
+        store = CalibrationStore()
+        for i in range(MIN_CALIBRATION_RECORDS - 1):
+            store.append(self._record(i))
+        with pytest.raises(CostModelError):
+            store.calibrate()
+
+    def test_calibrate_refits_on_enough_records(self, rng):
+        store = CalibrationStore()
+        # Synthesize observations from known betas with mild noise.
+        true = (0.002, 1e-6, 4e-6, 1e-6)
+        for i in range(30):
+            total = float(rng.uniform(1000, 20000))
+            max_in = float(rng.uniform(100, 2000))
+            max_out = float(rng.uniform(100, 5000))
+            seconds = (
+                true[0] + true[1] * total + true[2] * max_in + true[3] * max_out
+            ) * float(rng.uniform(0.95, 1.05))
+            record = self._record(i, qerr=float(rng.uniform(1.0, 2.0)))
+            record["features"] = {
+                "total_input": total, "max_input": max_in, "max_output": max_out
+            }
+            record["seconds"] = seconds
+            store.append(record)
+        report = store.calibrate()
+        assert report.n_records == 30
+        assert report.after_error < 0.1
+        # The recorded betas (load weights) are wildly off in seconds, so the
+        # refit must remove nearly all of that drift.
+        assert report.drift > 0
+        assert 1.0 <= report.mean_output_qerror <= 2.0
+        assert report.to_dict()["betas"]["beta2"] >= 0.0
+
+    def test_unusable_records_do_not_count(self):
+        store = CalibrationStore()
+        for i in range(25):
+            record = self._record(i)
+            del record["features"]  # cache-path style record: no job stats
+            store.append(record)
+        with pytest.raises(CostModelError):
+            store.calibrate()
+
+
+class TestEstimateAccuracyTracker:
+    def test_service_records_executed_queries_only(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            service.query("q")  # cold: executed
+            assert service.calibration.observed == 1
+            service.query("q")  # result cache: skipped
+            assert service.calibration.observed == 1
+            assert len(service.calibration_store) == 1
+            record = service.calibration_store.records()[0]
+            assert record["path"] == "cold"
+            assert record["actual"] >= 0 and record["estimate"] >= 0
+            assert "features" in record and record["features"]["total_input"] > 0
+
+    def test_qerror_histogram_in_prometheus(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            service.query("q")
+            exposition = service.prometheus()
+            assert "repro_estimate_qerror" in exposition
+
+    def test_mean_qerror_defaults_to_one(self):
+        tracker = EstimateAccuracyTracker(registry=MetricsRegistry())
+        assert tracker.mean_qerror() == 1.0
+
+    def test_observe_never_raises(self):
+        class Broken:
+            pass
+
+        class Result:
+            path = "cold"
+            n_pairs = 3
+            job = None
+
+        tracker = EstimateAccuracyTracker()
+        tracker.observe(Broken(), (), Result(), 0.1)  # must swallow the error
+        assert tracker.observed == 0
+
+    def test_stats_surface_includes_calibration(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            service.query("q")
+            info = service.stats()["calibration"]
+            assert info["observed"] == 1
+            assert info["mean_qerror"] >= 1.0
+
+
+class TestEstimateQErrorSLO:
+    def test_kind_registered(self):
+        assert SLO_KINDS["estimate_qerror"] == "max"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(slo_max_estimate_qerror=0.5)
+
+    def test_monitor_breaches_on_sustained_miscalibration(self):
+        monitor = SLOMonitor(
+            objectives=[SLO("estimate_qerror", "estimate_qerror", 2.0)],
+            probes={"estimate_qerror": lambda: 5.0},
+        )
+        health = monitor.health()
+        assert not health["healthy"]
+        assert health["objectives"][0]["kind"] == "estimate_qerror"
+
+    def test_service_objective_wiring(self, rng):
+        with explain_service(slo_max_estimate_qerror=1e9) as service:
+            register_pair(service, rng)
+            service.query("q")
+            health = service.health()
+            kinds = {s["kind"] for s in health["objectives"]}
+            assert "estimate_qerror" in kinds
+            assert health["healthy"]
+
+
+class TestProtocolAndCli:
+    def test_explain_op_round_trip(self, rng):
+        requests = [
+            {"op": "register", "name": "S", "columns": {"A1": rng.random(200).tolist()}},
+            {"op": "register", "name": "T", "columns": {"A1": rng.random(200).tolist()}},
+            {"op": "prepare", "query": "q", "s": "S", "t": "T",
+             "attributes": ["A1"], "epsilons": [0.05]},
+            {"op": "explain", "query": "q"},
+            {"op": "explain", "query": "q", "analyze": True, "epsilons": [0.02]},
+            {"op": "quit"},
+        ]
+        out = io.StringIO()
+        with explain_service() as service:
+            serve_lines(service, [json.dumps(r) for r in requests], out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        plain, analyzed = responses[3]["explain"], responses[4]["explain"]
+        assert plain["analyze"] is False and plain["path"] is None
+        assert analyzed["analyze"] is True
+        assert analyzed["path"] in ("cold", "plan_cache")
+        assert analyzed["plan"]["actuals"]["pairs"] >= 0
+        assert analyzed["max_qerror"] is not None
+
+    def test_calibrate_op_before_enough_records(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            with pytest.raises(CostModelError):
+                handle_request(service, {"op": "calibrate"})
+            with pytest.raises(CostModelError):
+                # min_records=0 clamps to the fit minimum of 3 in the store.
+                handle_request(service, {"op": "calibrate", "min_records": 0})
+
+    def test_calibrate_op_with_enough_records(self, rng):
+        with explain_service() as service:
+            register_pair(service, rng)
+            for i in range(22):
+                service.explain("q", epsilons=0.01 + 0.003 * i, analyze=True)
+            response = handle_request(service, {"op": "calibrate"})
+            assert response["ok"]
+            assert response["calibration"]["records"] >= MIN_CALIBRATION_RECORDS
+            assert set(response["calibration"]["betas"]) == {
+                "beta0", "beta1", "beta2", "beta3"
+            }
+
+    def test_cli_explain_over_tcp(self, rng, capsys):
+        import socket
+        import threading
+
+        from repro import cli
+        from repro.service import LineProtocolServer
+
+        with explain_service() as service:
+            register_pair(service, rng)
+            server = LineProtocolServer(("127.0.0.1", 0), service)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                port = str(server.server_address[1])
+                assert cli.main(["explain", "q", "--port", port]) == 0
+                text = capsys.readouterr().out
+                assert text.startswith("EXPLAIN q") and "partitioning" in text
+                assert cli.main(
+                    ["explain", "q", "--port", port, "--analyze", "--json"]
+                ) == 0
+                payload = json.loads(capsys.readouterr().out)
+                assert payload["analyze"] is True
+                assert payload["plan"]["actuals"]["pairs"] >= 0
+                assert cli.main(
+                    ["explain", "q", "--port", port, "--epsilons", "bogus"]
+                ) == 2
+                capsys.readouterr()
+            finally:
+                server.shutdown()
+                server.server_close()
+
+
+class TestSharedRenderer:
+    def test_trace_and_plan_trees_share_the_renderer(self):
+        from repro.obs.render import format_attrs, render_tree
+
+        lines = ["header"]
+        render_tree(
+            {"name": "root", "children": [{"name": "leaf"}]},
+            lambda node, depth: node["name"] + format_attrs({"k": 1} if depth else None),
+            lines=lines,
+        )
+        assert lines == ["header", "root", "  - leaf  [k=1]"]
+
+    def test_format_trace_tree_unchanged(self):
+        from repro.obs import format_trace_tree
+
+        trace = {
+            "trace_id": "t1",
+            "root": {
+                "name": "request",
+                "duration": 0.01,
+                "attrs": {},
+                "children": [
+                    {"name": "execute", "duration": 0.005, "attrs": {"path": "cold"},
+                     "children": []}
+                ],
+            },
+        }
+        text = format_trace_tree(trace)
+        assert "request 10.000 ms" in text
+        assert "- execute 5.000 ms (50.0%)  [path=cold]" in text
