@@ -1,0 +1,27 @@
+"""CI smoke of the out-of-core storage layer (small bench_storage run).
+
+Runs :mod:`bench_storage` at the CI-sized scale — two mmap-segment
+relations totalling ~160 MB joined under a hard 16 MB resident-set
+ceiling — and fails the job on a ceiling breach or on any divergence
+from the in-memory reference pair set.  The perf record still lands in
+``BENCH_storage.json`` so the job can upload it::
+
+    PYTHONPATH=src python benchmarks/smoke_storage.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import bench_storage
+
+
+def main() -> int:
+    code = bench_storage.main(["--smoke"])
+    if code != 0:
+        print("storage smoke FAILED: memory ceiling breached or pair sets diverged")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import DEFAULT_LOCAL_ALGORITHM, ENGINE_BACKENDS, LOCAL_ALGORITHM_NAMES
+from repro.config import (
+    DEFAULT_LOCAL_ALGORITHM,
+    ENGINE_BACKENDS,
+    LOCAL_ALGORITHM_NAMES,
+    STORAGE_BACKENDS,
+)
 from repro.experiments import workloads as wl
 from repro.metrics.report import format_table
 
@@ -122,6 +127,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend of the underlying engine (default: threads)",
     )
     serve.add_argument("--workers", type=int, default=None, help="partition workers per query")
+    serve.add_argument(
+        "--storage",
+        choices=STORAGE_BACKENDS,
+        default=None,
+        help="relation storage backend: 'memory' keeps everything on the "
+        "heap, 'mmap' spills large relations to memory-mapped segments "
+        "and streams queries over them (default: memory)",
+    )
+    serve.add_argument(
+        "--spill-dir",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="segment directory for --storage mmap (default: private tempdir)",
+    )
+    serve.add_argument(
+        "--spill-threshold-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="minimum relation size before it is spilled to mmap segments",
+    )
     serve.add_argument(
         "--scheduler-workers", type=int, default=None, help="scheduler thread count"
     )
@@ -474,6 +501,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         overrides["local_algorithm"] = args.local_algorithm
     if args.max_estimated_pairs is not None:
         overrides["max_estimated_pairs"] = args.max_estimated_pairs
+    if args.storage is not None:
+        overrides["storage"] = args.storage
+    if args.spill_dir is not None:
+        overrides["spill_dir"] = args.spill_dir
+    if args.spill_threshold_bytes is not None:
+        overrides["spill_threshold_bytes"] = args.spill_threshold_bytes
     if args.no_telemetry:
         overrides["telemetry"] = False
     if args.no_capture:

@@ -106,6 +106,25 @@ DEFAULT_SLO_INTERVAL: float = 5.0
 #: Default retention bound of the on-disk cost-model calibration spool.
 DEFAULT_CALIBRATION_MAX_RECORDS: int = 4096
 
+#: Relation storage backends accepted by the catalog and the service:
+#: ``"memory"`` keeps every relation on the heap (the historical behavior);
+#: ``"mmap"`` spills large relations to memory-mapped ``.npy`` segments so
+#: the catalog can hold data bigger than RAM.
+STORAGE_BACKENDS: tuple[str, ...] = ("memory", "mmap")
+
+#: Default relation storage backend.
+DEFAULT_STORAGE_BACKEND: str = "memory"
+
+#: Default relation byte size past which ``--storage mmap`` spills a
+#: registered relation to disk segments (smaller relations stay on the heap
+#: — out-of-core machinery only pays off once data is big).
+DEFAULT_SPILL_THRESHOLD_BYTES: int = 64 * 1024 * 1024
+
+#: Segment-chain length past which an mmap relation's delta compaction
+#: coalesces the chain into evenly sized segments (below it, compaction is a
+#: pure O(delta) segment append).
+MAX_SEGMENTS_BEFORE_REWRITE: int = 16
+
 
 @dataclass(frozen=True)
 class LoadWeights:
@@ -158,6 +177,9 @@ class EngineConfig:
     kernel_memory_budget:
         Machine-wide byte budget of the kernels' transient candidate
         buffers; backends split it across concurrently running tasks.
+    spill_dir:
+        Root directory of the engine's streaming scratch files for
+        out-of-core joins (``None`` uses the system temp dir).
     """
 
     backend: str = DEFAULT_ENGINE_BACKEND
@@ -165,6 +187,7 @@ class EngineConfig:
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
     local_algorithm: str = DEFAULT_LOCAL_ALGORITHM
     kernel_memory_budget: int = DEFAULT_KERNEL_MEMORY_BUDGET
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -255,6 +278,14 @@ class ServiceConfig:
         JSON line to that spool (bounded at ``calibration_max_records``
         records), from which ``CalibrationStore.calibrate()`` refits the
         running-time betas.
+    storage / spill_dir / spill_threshold_bytes:
+        Relation storage: ``storage="mmap"`` spills registered relations of
+        at least ``spill_threshold_bytes`` bytes to memory-mapped ``.npy``
+        segments under ``spill_dir`` (a temp directory when ``None``), and
+        out-of-core joins stream column slices instead of materializing
+        matrices — the catalog can then hold data bigger than RAM.
+        ``storage="memory"`` (default) keeps the historical all-heap
+        behavior.
     """
 
     backend: str = "threads"
@@ -282,6 +313,9 @@ class ServiceConfig:
     slo_interval: float = DEFAULT_SLO_INTERVAL
     calibration_log: str | None = None
     calibration_max_records: int = DEFAULT_CALIBRATION_MAX_RECORDS
+    storage: str = DEFAULT_STORAGE_BACKEND
+    spill_dir: str | None = None
+    spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD_BYTES
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -330,6 +364,12 @@ class ServiceConfig:
             raise ValueError("slo_interval must be non-negative")
         if self.calibration_max_records < 1:
             raise ValueError("calibration_max_records must be at least 1")
+        if self.storage not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
+            )
+        if self.spill_threshold_bytes < 1:
+            raise ValueError("spill_threshold_bytes must be positive")
 
 
 @dataclass(frozen=True)

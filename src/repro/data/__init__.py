@@ -1,6 +1,12 @@
 """Data substrate: relations, synthetic generators and persistence."""
 
-from repro.data.relation import Relation
+from repro.data.relation import Relation, fingerprint_columns
+from repro.data.storage import (
+    ColumnStore,
+    InMemoryColumnStore,
+    MmapColumnStore,
+    SpillArena,
+)
 from repro.data.generators import (
     pareto_relation,
     reverse_pareto_relation,
@@ -17,6 +23,11 @@ from repro.data.synthetic_real import (
 
 __all__ = [
     "Relation",
+    "fingerprint_columns",
+    "ColumnStore",
+    "InMemoryColumnStore",
+    "MmapColumnStore",
+    "SpillArena",
     "pareto_relation",
     "reverse_pareto_relation",
     "uniform_relation",

@@ -32,12 +32,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.storage import SpillArena, block_spans, madvise_dontneed
 from repro.engine.routing import WorkerTask, gather_task_inputs
-from repro.engine.shared import SharedStoreDescriptor, SharedTaskReader, SharedTaskStore
+from repro.engine.shared import (
+    SharedStoreDescriptor,
+    SharedTaskReader,
+    SharedTaskStore,
+    SpilledStoreDescriptor,
+    SpilledTaskReader,
+    SpilledTaskStore,
+)
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
 from repro.local_join.base import LocalJoinAlgorithm
+from repro.local_join.kernels import kernel_scratch
 from repro.obs.tracing import SpanContext, span_record
+
+#: Per-side byte size above which an out-of-core task gathers its shifted
+#: join matrix into a scratch memory map instead of the heap (and lets the
+#: kernels spill their permuted copies the same way).  Only relevant when a
+#: side is a matrix *source* — plain in-memory joins never spill.
+TASK_SPILL_BYTES: int = 8 * 1024 * 1024
 
 
 @dataclass
@@ -61,6 +76,41 @@ class TaskOutcome:
     spans: list | None = None
 
 
+def _side_bytes(source, rows: np.ndarray) -> int:
+    width = source.shape[1] if isinstance(source, np.ndarray) else source.width
+    return int(rows.size) * int(width) * 8
+
+
+def _gather_task_side(source, rows: np.ndarray, offsets: np.ndarray, arena) -> np.ndarray:
+    """Gather one side's shifted task matrix, spilling large gathers to scratch.
+
+    With an arena, an out-of-core side larger than :data:`TASK_SPILL_BYTES`
+    lands in a scratch memory map filled block by block (source and scratch
+    pages recycled as the fill advances); otherwise the gather goes to the
+    heap exactly as before.
+    """
+    if isinstance(source, np.ndarray):
+        mat = source[rows]
+        if mat.shape[0]:
+            mat[:, 0] += offsets
+        return mat
+    if arena is None or _side_bytes(source, rows) <= TASK_SPILL_BYTES:
+        mat = source.take(np.asarray(rows))
+        if mat.shape[0]:
+            mat[:, 0] += offsets
+        return mat
+    n, width = int(rows.size), source.width
+    mat = arena.empty_matrix(float, n, width, prefix="task")
+    block_rows = max(1, (4 * 1024 * 1024) // (width * 8))
+    source.take_into(mat, rows, block_rows)
+    for index, (b0, b1) in enumerate(block_spans(n, block_rows)):
+        mat[b0:b1, 0] += offsets[b0:b1]
+        if index % 4 == 3:
+            madvise_dontneed(mat)
+    madvise_dontneed(mat)
+    return mat
+
+
 def execute_task(
     task: WorkerTask,
     s_matrix: np.ndarray,
@@ -70,7 +120,13 @@ def execute_task(
     materialize: bool,
     trace_ctx: SpanContext | None = None,
 ) -> TaskOutcome:
-    """Run one worker task against the given join matrices."""
+    """Run one worker task against the given join matrices.
+
+    Either matrix may be a plain ndarray or a
+    :class:`~repro.engine.sources.StoreMatrixSource` over an out-of-core
+    relation; large source-backed tasks run with scratch spilling so the
+    whole task never needs to fit in memory.
+    """
     if task.s_rows.size == 0 or task.t_rows.size == 0:
         return TaskOutcome(
             worker_id=task.worker_id,
@@ -79,9 +135,38 @@ def execute_task(
             local_seconds=0.0,
             pairs=np.empty((0, 2), dtype=np.int64) if materialize else None,
         )
+    streamed = not (isinstance(s_matrix, np.ndarray) and isinstance(t_matrix, np.ndarray))
+    if streamed and max(
+        _side_bytes(s_matrix, task.s_rows), _side_bytes(t_matrix, task.t_rows)
+    ) > TASK_SPILL_BYTES:
+        with SpillArena() as arena:
+            with kernel_scratch(arena, TASK_SPILL_BYTES):
+                return _execute_task_inner(
+                    task, s_matrix, t_matrix, condition, algorithm, materialize,
+                    trace_ctx, arena,
+                )
+    return _execute_task_inner(
+        task, s_matrix, t_matrix, condition, algorithm, materialize, trace_ctx, None
+    )
+
+
+def _execute_task_inner(
+    task: WorkerTask,
+    s_matrix,
+    t_matrix,
+    condition: BandCondition,
+    algorithm: LocalJoinAlgorithm,
+    materialize: bool,
+    trace_ctx: SpanContext | None,
+    arena,
+) -> TaskOutcome:
     task_wall = time.time() if trace_ctx is not None else 0.0
     task_start = time.perf_counter()
-    worker_s, worker_t = gather_task_inputs(task, s_matrix, t_matrix)
+    if arena is not None:
+        worker_s = _gather_task_side(s_matrix, task.s_rows, task.s_offsets, arena)
+        worker_t = _gather_task_side(t_matrix, task.t_rows, task.t_offsets, arena)
+    else:
+        worker_s, worker_t = gather_task_inputs(task, s_matrix, t_matrix)
     join_start = time.perf_counter()
     if materialize:
         local = algorithm.join(worker_s, worker_t, condition)
@@ -254,13 +339,16 @@ _PROCESS_STATE: dict = {}
 
 
 def _process_initializer(
-    descriptor: SharedStoreDescriptor,
+    descriptor: SharedStoreDescriptor | SpilledStoreDescriptor,
     condition: BandCondition,
     algorithm: LocalJoinAlgorithm,
     materialize: bool,
     trace_ctx: SpanContext | None = None,
 ) -> None:
-    _PROCESS_STATE["reader"] = SharedTaskReader(descriptor)
+    if isinstance(descriptor, SpilledStoreDescriptor):
+        _PROCESS_STATE["reader"] = SpilledTaskReader(descriptor)
+    else:
+        _PROCESS_STATE["reader"] = SharedTaskReader(descriptor)
     _PROCESS_STATE["condition"] = condition
     _PROCESS_STATE["algorithm"] = algorithm
     _PROCESS_STATE["materialize"] = materialize
@@ -320,7 +408,14 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         pool_size = min(self.max_workers or _default_parallelism(), len(tasks))
         algorithm = self._budgeted(algorithm, concurrency=pool_size)
-        with SharedTaskStore(s_matrix, t_matrix, tasks) as store:
+        # Out-of-core joins skip shared memory entirely: workers receive the
+        # mmap segment paths (pickled sources) plus per-task spill-file refs
+        # and map everything read-only themselves.
+        streamed = not (
+            isinstance(s_matrix, np.ndarray) and isinstance(t_matrix, np.ndarray)
+        )
+        store_cls = SpilledTaskStore if streamed else SharedTaskStore
+        with store_cls(s_matrix, t_matrix, tasks) as store:
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 initializer=_process_initializer,

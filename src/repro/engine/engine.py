@@ -32,15 +32,18 @@ import numpy as np
 from repro.config import DEFAULT_WORKERS, EngineConfig, LoadWeights
 from repro.core.partitioner import JoinPartitioning, Partitioner
 from repro.data.relation import Relation
+from repro.data.storage import DEFAULT_BLOCK_BYTES, SpillArena
 from repro.distributed.stats import JobStats, WorkerStats
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.plan_cache import PlanCache
 from repro.engine.routing import (
     build_worker_tasks,
     route_side,
+    stream_worker_tasks,
     unit_offset_step,
     worker_input_counts,
 )
+from repro.engine.sources import StoreMatrixSource
 from repro.exceptions import ExecutionError
 from repro.geometry.band import BandCondition
 from repro.local_join import get_local_algorithm
@@ -168,6 +171,8 @@ class ParallelJoinEngine:
         plan_cache: PlanCache | None = None,
         max_parallelism: int | None = None,
         memory_budget: int | None = None,
+        spill_dir: str | None = None,
+        chunk_bytes: int = DEFAULT_BLOCK_BYTES,
     ) -> None:
         self.backend = get_backend(
             backend, max_workers=max_parallelism, memory_budget=memory_budget
@@ -175,6 +180,11 @@ class ParallelJoinEngine:
         self.algorithm = get_local_algorithm(algorithm)
         self.weights = weights if weights is not None else LoadWeights()
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: Root directory of per-join streaming scratch files (``None`` uses
+        #: the system temp dir); only touched when a relation is out-of-core.
+        self.spill_dir = spill_dir
+        #: Byte size of one streamed routing chunk.
+        self.chunk_bytes = int(chunk_bytes)
 
     @classmethod
     def from_config(
@@ -197,6 +207,7 @@ class ParallelJoinEngine:
             plan_cache=PlanCache(max_entries=config.plan_cache_size),
             max_parallelism=config.max_parallelism,
             memory_budget=config.kernel_memory_budget,
+            spill_dir=config.spill_dir,
         )
 
     # ------------------------------------------------------------------ #
@@ -220,6 +231,8 @@ class ParallelJoinEngine:
         """
         condition.validate_against(s.column_names)
         condition.validate_against(t.column_names)
+        if s.storage != "memory" or t.storage != "memory":
+            return self._execute_streamed(s, t, condition, partitioning, materialize)
         wall_start = time.perf_counter()
         s_matrix = s.join_matrix(condition.attributes)
         t_matrix = t.join_matrix(condition.attributes)
@@ -246,36 +259,119 @@ class ParallelJoinEngine:
         execution_seconds = time.perf_counter() - execution_start
 
         with tracer().span("merge"):
-            worker_stats = [
-                WorkerStats(worker_id=i) for i in range(partitioning.workers)
-            ]
             s_counts = worker_input_counts(partitioning, s_routed)
             t_counts = worker_input_counts(partitioning, t_routed)
-            for stats in worker_stats:
-                stats.input_s = int(s_counts[stats.worker_id])
-                stats.input_t = int(t_counts[stats.worker_id])
-            pair_chunks: list[np.ndarray] = []
-            for outcome in outcomes:
-                stats = worker_stats[outcome.worker_id]
-                stats.units += outcome.n_units
-                stats.output += outcome.output
-                stats.local_seconds += outcome.local_seconds
-                if materialize and outcome.pairs is not None and outcome.pairs.size:
-                    pair_chunks.append(outcome.pairs)
-            job = JobStats(
-                workers=worker_stats,
-                total_output=sum(w.output for w in worker_stats),
+            job, pairs = self._merge_outcomes(
+                partitioning, outcomes, s_counts, t_counts, materialize,
                 baseline_input=len(s) + len(t),
             )
-            pairs: np.ndarray | None = None
-            if materialize:
-                pairs = (
-                    np.concatenate(pair_chunks)
-                    if pair_chunks
-                    else np.empty((0, 2), dtype=np.int64)
-                )
         logger.debug(
             "executed %d tasks on %s: output=%d exec=%.4fs route=%.4fs",
+            len(tasks), self.backend.name, job.total_output,
+            execution_seconds, routing_seconds,
+        )
+        return EngineResult(
+            backend=self.backend.name,
+            partitioning=partitioning,
+            job=job,
+            weights=self.weights,
+            wall_seconds=time.perf_counter() - wall_start,
+            routing_seconds=routing_seconds,
+            execution_seconds=execution_seconds,
+            optimization_seconds=partitioning.stats.optimization_seconds,
+            pairs=pairs,
+        )
+
+    def _merge_outcomes(
+        self,
+        partitioning: JoinPartitioning,
+        outcomes,
+        s_counts: np.ndarray,
+        t_counts: np.ndarray,
+        materialize: bool,
+        baseline_input: int,
+    ) -> tuple[JobStats, np.ndarray | None]:
+        """Fold task outcomes + routed input counts into job accounting."""
+        worker_stats = [WorkerStats(worker_id=i) for i in range(partitioning.workers)]
+        for stats in worker_stats:
+            stats.input_s = int(s_counts[stats.worker_id])
+            stats.input_t = int(t_counts[stats.worker_id])
+        pair_chunks: list[np.ndarray] = []
+        for outcome in outcomes:
+            stats = worker_stats[outcome.worker_id]
+            stats.units += outcome.n_units
+            stats.output += outcome.output
+            stats.local_seconds += outcome.local_seconds
+            if materialize and outcome.pairs is not None and outcome.pairs.size:
+                pair_chunks.append(outcome.pairs)
+        job = JobStats(
+            workers=worker_stats,
+            total_output=sum(w.output for w in worker_stats),
+            baseline_input=baseline_input,
+        )
+        pairs: np.ndarray | None = None
+        if materialize:
+            pairs = (
+                np.concatenate(pair_chunks)
+                if pair_chunks
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        return job, pairs
+
+    def _execute_streamed(
+        self,
+        s: Relation,
+        t: Relation,
+        condition: BandCondition,
+        partitioning: JoinPartitioning,
+        materialize: bool,
+    ) -> EngineResult:
+        """Out-of-core execution: stream column slices, never the matrices.
+
+        Taken whenever a side is mmap-backed.  Routing reads each side in
+        bounded float chunks and spills the per-worker row/offset arrays to
+        a scratch arena; backends receive :class:`StoreMatrixSource` views
+        (segment paths, not data) and tasks gather their inputs into scratch
+        memory maps, so peak resident memory is bounded by the chunk and
+        kernel budgets rather than the relation sizes.
+        """
+        wall_start = time.perf_counter()
+        s_source = StoreMatrixSource.from_relation(s, condition.attributes)
+        t_source = StoreMatrixSource.from_relation(t, condition.attributes)
+        with SpillArena.scratch(self.spill_dir) as arena:
+            routing_start = time.perf_counter()
+            with tracer().span(
+                "route", workers=partitioning.workers, streamed=True
+            ):
+                tasks, s_counts, t_counts, _ = stream_worker_tasks(
+                    partitioning, s_source, t_source, condition, arena,
+                    self.chunk_bytes,
+                )
+            routing_seconds = time.perf_counter() - routing_start
+
+            execution_start = time.perf_counter()
+            with tracer().span(
+                "local_join", backend=self.backend.name, tasks=len(tasks),
+                streamed=True,
+            ) as join_span:
+                outcomes = self.backend.run(
+                    tasks, s_source, t_source, condition, self.algorithm,
+                    materialize, trace_ctx=join_span.context,
+                )
+                for outcome in outcomes:
+                    if outcome.spans:
+                        tracer().attach(join_span.context, outcome.spans)
+            execution_seconds = time.perf_counter() - execution_start
+
+            with tracer().span("merge"):
+                job, pairs = self._merge_outcomes(
+                    partitioning, outcomes, s_counts, t_counts, materialize,
+                    baseline_input=len(s) + len(t),
+                )
+        s_source.release()
+        t_source.release()
+        logger.debug(
+            "streamed %d tasks on %s: output=%d exec=%.4fs route=%.4fs",
             len(tasks), self.backend.name, job.total_output,
             execution_seconds, routing_seconds,
         )

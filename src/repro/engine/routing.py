@@ -185,12 +185,22 @@ def build_worker_tasks(
     return tasks
 
 
-def gather_task_inputs(
-    task: WorkerTask, s_matrix: np.ndarray, t_matrix: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Materialise a task's shifted S/T join matrices (fresh copies)."""
-    worker_s = s_matrix[task.s_rows]
-    worker_t = t_matrix[task.t_rows]
+def _gather_rows(source, rows: np.ndarray) -> np.ndarray:
+    """Gather rows from an ndarray matrix or a sliced matrix source."""
+    if isinstance(source, np.ndarray):
+        return source[rows]
+    return source.take(rows)
+
+
+def gather_task_inputs(task: WorkerTask, s_matrix, t_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise a task's shifted S/T join matrices (fresh copies).
+
+    Either side may be a plain ``(n, d)`` ndarray (legacy in-memory path) or
+    a :class:`~repro.engine.sources.StoreMatrixSource` reading an
+    out-of-core relation; the gather semantics are identical.
+    """
+    worker_s = _gather_rows(s_matrix, task.s_rows)
+    worker_t = _gather_rows(t_matrix, task.t_rows)
     if worker_s.shape[0]:
         worker_s[:, 0] += task.s_offsets
     if worker_t.shape[0]:
@@ -226,3 +236,161 @@ def worker_input_counts(
     return np.bincount(
         dedup_workers(partitioning, routed), minlength=partitioning.workers
     )
+
+
+# --------------------------------------------------------------------- #
+# Streamed routing (out-of-core relations)
+# --------------------------------------------------------------------- #
+
+
+def unit_offset_step_from_bounds(
+    lows: list[float], highs: list[float], condition: BandCondition
+) -> float:
+    """:func:`unit_offset_step` from precomputed first-dimension bounds.
+
+    ``lows`` / ``highs`` hold the first-join-dimension min/max of each
+    non-empty side.  Out-of-core relations serve these from per-segment
+    statistics, so the step is known before any data is read.
+    """
+    predicate = condition.predicates[0]
+    spread = (max(highs) - min(lows)) if lows else 1.0
+    return spread + predicate.eps_left + predicate.eps_right + 1.0
+
+
+def unit_ranks(partitioning: JoinPartitioning) -> np.ndarray:
+    """Return each unit's rank among its owning worker's units.
+
+    Ranks follow ascending unit id per worker — exactly the order
+    :func:`gather_side` enumerates a worker's units — so
+    ``rank * offset_step`` reproduces the legacy per-unit shifts.
+    """
+    owners = partitioning.unit_workers()
+    order = np.argsort(owners, kind="stable")
+    sorted_owners = owners[order]
+    starts = np.searchsorted(sorted_owners, np.arange(partitioning.workers))
+    ranks = np.empty(owners.size, dtype=np.int64)
+    ranks[order] = np.arange(owners.size, dtype=np.int64) - starts[sorted_owners]
+    return ranks
+
+
+class _SideStreamer:
+    """Accumulates one side's routed copies into per-worker spill files."""
+
+    def __init__(self, partitioning: JoinPartitioning, arena, side: str) -> None:
+        self.partitioning = partitioning
+        self.side = side
+        self.owners = partitioning.unit_workers()
+        self.ranks = unit_ranks(partitioning)
+        self.active = np.nonzero(np.bincount(self.owners, minlength=partitioning.workers))[0]
+        self.counts = np.zeros(partitioning.workers, dtype=np.int64)
+        self._rows_writers = {
+            int(w): arena.writer(np.int64, prefix=f"{side}-rows-w{w}") for w in self.active
+        }
+        self._offset_writers = {
+            int(w): arena.writer(np.float64, prefix=f"{side}-offsets-w{w}")
+            for w in self.active
+        }
+
+    def consume(
+        self,
+        chunk_start: int,
+        chunk: np.ndarray,
+        offset_step: float,
+        validate: bool,
+    ) -> None:
+        """Route one chunk and append its copies to the per-worker files."""
+        rows, units = self.partitioning.route(chunk, self.side)
+        if validate:
+            check_coverage(rows, chunk.shape[0], self.side, self.partitioning.method)
+        if rows.size == 0:
+            return
+        rows = rows.astype(np.int64, copy=False)
+        units = units.astype(np.int64, copy=False)
+        copy_workers = self.owners[units]
+        # Chunks partition the row space, so per-chunk dedup over
+        # (row, worker) copies sums to the global deduplicated counts.
+        self.counts += np.bincount(
+            dedup_worker_copies(rows, copy_workers, self.partitioning.workers),
+            minlength=self.partitioning.workers,
+        )
+        global_rows = rows + chunk_start
+        offsets = self.ranks[units].astype(float) * offset_step
+        order = np.argsort(copy_workers, kind="stable")
+        sorted_workers = copy_workers[order]
+        bounds = np.searchsorted(
+            sorted_workers, np.arange(self.partitioning.workers + 1)
+        )
+        for worker in self.active:
+            lo, hi = int(bounds[worker]), int(bounds[worker + 1])
+            if hi > lo:
+                piece = order[lo:hi]
+                self._rows_writers[int(worker)].append(global_rows[piece])
+                self._offset_writers[int(worker)].append(offsets[piece])
+
+    def finish(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Close the spill files and return per-worker (rows, offsets) maps."""
+        return {
+            w: (self._rows_writers[w].finish(), self._offset_writers[w].finish())
+            for w in map(int, self.active)
+        }
+
+
+def stream_worker_tasks(
+    partitioning: JoinPartitioning,
+    s_source,
+    t_source,
+    condition: BandCondition,
+    arena,
+    chunk_bytes: int,
+    validate: bool = True,
+) -> tuple[list[WorkerTask], np.ndarray, np.ndarray, float]:
+    """Route both sides chunk-wise and build disk-backed worker tasks.
+
+    The streamed counterpart of :func:`route_side` +
+    :func:`build_worker_tasks`: each side is read in bounded float chunks
+    (``source.iter_chunks``), routed, and appended straight to per-worker
+    spill files in ``arena`` — no O(n) routing state ever lives on the
+    heap.  Task ``rows`` / ``offsets`` come back as read-only memory maps
+    over those files; row order within a task is chunk-major instead of
+    unit-major, which the local join is insensitive to (it re-sorts), while
+    per-tuple offsets reproduce the legacy unit-rank shifts exactly.
+
+    Returns ``(tasks, s_counts, t_counts, offset_step)`` where the counts
+    are the per-worker deduplicated input accounting of paper Definition 1.
+    """
+    s_lo, s_hi = s_source.bounds()
+    t_lo, t_hi = t_source.bounds()
+    lows = [float(lo[0]) for lo, src in ((s_lo, s_source), (t_lo, t_source)) if src.rows]
+    highs = [float(hi[0]) for hi, src in ((s_hi, s_source), (t_hi, t_source)) if src.rows]
+    offset_step = unit_offset_step_from_bounds(lows, highs, condition)
+
+    sides: dict[str, _SideStreamer] = {}
+    for side, source in (("S", s_source), ("T", t_source)):
+        streamer = _SideStreamer(partitioning, arena, side)
+        for start, _, chunk in source.iter_chunks(chunk_bytes):
+            streamer.consume(start, chunk, offset_step, validate)
+        source.release()
+        sides[side] = streamer
+
+    s_parts = sides["S"].finish()
+    t_parts = sides["T"].finish()
+    units_per_worker = np.bincount(
+        partitioning.unit_workers(), minlength=partitioning.workers
+    )
+    empty_rows = np.empty(0, dtype=np.int64)
+    empty_offsets = np.empty(0)
+    tasks: list[WorkerTask] = []
+    for worker in map(int, sides["S"].active):
+        s_rows, s_offsets = s_parts.get(worker, (empty_rows, empty_offsets))
+        t_rows, t_offsets = t_parts.get(worker, (empty_rows, empty_offsets))
+        tasks.append(
+            WorkerTask(
+                worker_id=worker,
+                n_units=int(units_per_worker[worker]),
+                s_rows=s_rows,
+                s_offsets=s_offsets,
+                t_rows=t_rows,
+                t_offsets=t_offsets,
+            )
+        )
+    return tasks, sides["S"].counts, sides["T"].counts, offset_step

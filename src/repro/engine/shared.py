@@ -14,6 +14,9 @@ process leaves the ``with`` block, so no shared memory outlives a join.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -195,3 +198,159 @@ class SharedTaskReader:
             except Exception:  # pragma: no cover - defensive
                 pass
         self._segments = []
+
+
+# --------------------------------------------------------------------- #
+# Disk-backed task transfer (out-of-core joins)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SpilledArrayRef:
+    """One task array, either a ``.npy`` file on disk or a small inline array.
+
+    Streamed routing already leaves a task's row/offset arrays in spill
+    files, so most refs are pure paths; tiny or heap-resident arrays travel
+    inline (pickled) rather than forcing a file per empty side.
+    """
+
+    path: str | None
+    inline: np.ndarray | None
+
+    @classmethod
+    def of(cls, array: np.ndarray, directory: str, label: str, created: list[str]):
+        filename = getattr(array, "filename", None)
+        if filename is not None and getattr(array, "offset", 1) == 0 and array.ndim == 1:
+            # A raw flat memmap straight out of the spill arena — reference
+            # its file; the reader re-opens it read-only.
+            return cls(path=None, inline=None), _RawRef(
+                path=str(filename), dtype=array.dtype.str, rows=int(array.shape[0])
+            )
+        if array.nbytes <= 1 << 16:
+            return cls(path=None, inline=np.asarray(array)), None
+        path = os.path.join(directory, f"{label}.npy")
+        np.save(path, np.asarray(array))
+        created.append(path)
+        return cls(path=path, inline=None), None
+
+
+@dataclass(frozen=True)
+class _RawRef:
+    """A headerless flat binary file (spill-arena format)."""
+
+    path: str
+    dtype: str
+    rows: int
+
+
+@dataclass(frozen=True)
+class SpilledTaskSlice:
+    """One worker task reduced to array references."""
+
+    worker_id: int
+    n_units: int
+    arrays: dict  # field name -> SpilledArrayRef | _RawRef
+
+
+@dataclass(frozen=True)
+class SpilledStoreDescriptor:
+    """Everything a worker process needs for an out-of-core join.
+
+    ``s_matrix`` / ``t_matrix`` are either matrix *sources* (whose pickled
+    form is just mmap segment paths + shapes) or ``.npy`` path refs for a
+    heap matrix that was spilled for transfer.
+    """
+
+    s_matrix: object
+    t_matrix: object
+    tasks: tuple
+
+
+class SpilledTaskStore:
+    """Disk-backed counterpart of :class:`SharedTaskStore`.
+
+    Used by the process-pool backend when a join involves out-of-core
+    relations: instead of copying matrices into shared memory, workers
+    receive mmap segment paths (via the pickled sources) and per-task
+    row/offset file references, and map everything read-only themselves.
+    """
+
+    def __init__(self, s_matrix, t_matrix, tasks: list[WorkerTask]) -> None:
+        self.directory = tempfile.mkdtemp(prefix="repro-taskstore-")
+        self._created: list[str] = []
+        slices = []
+        for index, task in enumerate(tasks):
+            arrays = {}
+            for field in ("s_rows", "s_offsets", "t_rows", "t_offsets"):
+                ref, raw = SpilledArrayRef.of(
+                    getattr(task, field), self.directory, f"t{index}-{field}",
+                    self._created,
+                )
+                arrays[field] = raw if raw is not None else ref
+            slices.append(
+                SpilledTaskSlice(
+                    worker_id=task.worker_id, n_units=task.n_units, arrays=arrays
+                )
+            )
+        self.descriptor = SpilledStoreDescriptor(
+            s_matrix=self._matrix_ref(s_matrix, "s_matrix"),
+            t_matrix=self._matrix_ref(t_matrix, "t_matrix"),
+            tasks=tuple(slices),
+        )
+
+    def _matrix_ref(self, matrix, label: str):
+        if isinstance(matrix, np.ndarray):
+            path = os.path.join(self.directory, f"{label}.npy")
+            np.save(path, np.ascontiguousarray(matrix))
+            self._created.append(path)
+            return SpilledArrayRef(path=path, inline=None)
+        return matrix  # a picklable matrix source (segment paths only)
+
+    def close(self) -> None:
+        """Delete every file this store wrote (referenced spill files stay)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+        self._created = []
+
+    def __enter__(self) -> "SpilledTaskStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _resolve_ref(ref):
+    if isinstance(ref, _RawRef):
+        if ref.rows == 0:
+            return np.empty(0, dtype=np.dtype(ref.dtype))
+        return np.memmap(ref.path, dtype=np.dtype(ref.dtype), mode="r", shape=(ref.rows,))
+    if isinstance(ref, SpilledArrayRef):
+        if ref.path is not None:
+            return np.load(ref.path, mmap_mode="r")
+        return ref.inline
+    return ref
+
+
+class SpilledTaskReader:
+    """Worker-process view of a :class:`SpilledTaskStore` (read-only maps)."""
+
+    def __init__(self, descriptor: SpilledStoreDescriptor) -> None:
+        self.descriptor = descriptor
+        self._s_matrix = _resolve_ref(descriptor.s_matrix)
+        self._t_matrix = _resolve_ref(descriptor.t_matrix)
+
+    def task(self, index: int) -> WorkerTask:
+        piece = self.descriptor.tasks[index]
+        arrays = {name: _resolve_ref(ref) for name, ref in piece.arrays.items()}
+        return WorkerTask(worker_id=piece.worker_id, n_units=piece.n_units, **arrays)
+
+    @property
+    def s_matrix(self):
+        return self._s_matrix
+
+    @property
+    def t_matrix(self):
+        return self._t_matrix
+
+    def close(self) -> None:
+        self._s_matrix = None
+        self._t_matrix = None

@@ -25,11 +25,14 @@ for each t, a rank interval of S) — only the asymmetric epsilon widths swap.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterator
+from contextlib import contextmanager
 
 import numpy as np
 
+from repro.data.storage import block_spans, madvise_dontneed
 from repro.geometry.band import BandCondition
 from repro.local_join.base import empty_pairs
 from repro.obs.kernelprof import kernel_profile_start, publish_kernel_profile
@@ -44,6 +47,7 @@ __all__ = [
     "residual_mask",
     "interval_join",
     "interval_count",
+    "kernel_scratch",
 ]
 
 #: Default candidate-buffer budget (bytes) of one kernel invocation.  Chosen
@@ -61,6 +65,56 @@ def max_candidates(memory_budget: int) -> int:
     if memory_budget < 1:
         raise ValueError("memory_budget must be positive")
     return max(1, int(memory_budget) // CANDIDATE_BYTES)
+
+
+# --------------------------------------------------------------------- #
+# Out-of-core scratch context
+# --------------------------------------------------------------------- #
+
+_SCRATCH = threading.local()
+
+
+@contextmanager
+def kernel_scratch(arena, threshold_bytes: int):
+    """Let kernels on this thread spill large permuted copies to ``arena``.
+
+    The kernels sort each side with one permutation gather
+    (``arr[order]``); inside an active scratch context, gathers larger than
+    ``threshold_bytes`` land in scratch memory maps filled block by block
+    (resident pages recycled as they go) instead of on the heap.  The chunk
+    loop then reads slices of the mmap exactly as it reads slices of an
+    in-memory array — the byte-budget chunking is unchanged.
+    """
+    previous = getattr(_SCRATCH, "ctx", None)
+    _SCRATCH.ctx = (arena, int(threshold_bytes))
+    try:
+        yield
+    finally:
+        _SCRATCH.ctx = previous
+
+
+def _permuted(arr: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Return ``arr[order]``, spilled to scratch when large and allowed."""
+    ctx = getattr(_SCRATCH, "ctx", None)
+    if ctx is None or arr.nbytes <= ctx[1]:
+        return arr[order]
+    arena, _ = ctx
+    out = arena.empty_matrix(arr.dtype, arr.shape[0], arr.shape[1], prefix="sorted")
+    block_rows = max(1, (4 * 1024 * 1024) // max(1, arr.shape[1] * arr.itemsize))
+    for index, (b0, b1) in enumerate(block_spans(arr.shape[0], block_rows)):
+        out[b0:b1] = arr[order[b0:b1]]
+        if index % 4 == 3:
+            madvise_dontneed(out)
+            madvise_dontneed(arr)
+    madvise_dontneed(arr)
+    return out
+
+
+def _recycle(*arrays: np.ndarray) -> None:
+    """Drop resident pages of any memory-mapped operands (no-op otherwise)."""
+    for arr in arrays:
+        if isinstance(arr, np.memmap):
+            madvise_dontneed(arr)
 
 
 def window_bounds(
@@ -258,6 +312,9 @@ def _iter_matches(
             if profile is not None:
                 profile["pairs"] += int(probe_pos.size)
             yield probe_pos, window_pos
+        # Memory-mapped sides: drop the pages this chunk touched before
+        # moving on, so a full pass stays within a bounded resident set.
+        _recycle(probe_side, sorted_side)
 
 
 def _oriented_widths(
@@ -311,11 +368,12 @@ def interval_count(
         return total
 
     sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
-    sorted_side = sorted_arr[sorted_order]
+    sorted_side = _permuted(sorted_arr, sorted_order)
     # Sorting the probe side makes the chunk windows monotone (a requirement
     # of the adaptive chunk driver) and keeps every gather slice-local.
-    probe_side = probe_arr[np.argsort(probe_arr[:, dim], kind="stable")]
+    probe_side = _permuted(probe_arr, np.argsort(probe_arr[:, dim], kind="stable"))
     lows, highs = window_bounds(sorted_side[:, dim], probe_side[:, dim], below, above)
+    _recycle(probe_side, sorted_side)
     total = 0
     for probe_pos, _ in _iter_matches(
         probe_side,
@@ -362,7 +420,7 @@ def interval_join(
     below, above = _oriented(condition, dim, probe_is_s)
 
     sorted_order = np.argsort(sorted_arr[:, dim], kind="stable")
-    sorted_side = sorted_arr[sorted_order]
+    sorted_side = _permuted(sorted_arr, sorted_order)
 
     if condition.dimensionality == 1:
         # Every candidate is a result: expand straight into the output array
@@ -397,8 +455,9 @@ def interval_join(
         return pairs
 
     probe_order = np.argsort(probe_arr[:, dim], kind="stable")
-    probe_side = probe_arr[probe_order]
+    probe_side = _permuted(probe_arr, probe_order)
     lows, highs = window_bounds(sorted_side[:, dim], probe_side[:, dim], below, above)
+    _recycle(probe_side, sorted_side)
 
     chunks: list[np.ndarray] = []
     for probe_pos, window_pos in _iter_matches(

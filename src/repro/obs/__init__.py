@@ -31,6 +31,12 @@ from repro.obs.explain import (
 )
 from repro.obs.globals import registry, tracer
 from repro.obs.logconf import get_logger, resolve_level, setup_logging
+from repro.obs.process import (
+    current_rss_bytes,
+    peak_rss_bytes,
+    reset_peak_rss,
+    rss_supported,
+)
 from repro.obs.registry import (
     DEFAULT_RATIO_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -86,6 +92,10 @@ __all__ = [
     "get_logger",
     "setup_logging",
     "resolve_level",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "reset_peak_rss",
+    "rss_supported",
     "bind_plan_cache",
     "bind_prepared_query",
     "QueryLogRecorder",

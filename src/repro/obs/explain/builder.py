@@ -73,6 +73,18 @@ def _sampled_matrix(relation, attributes) -> tuple[np.ndarray, float]:
     return gather_rows(relation, attributes, idx), n / idx.shape[0]
 
 
+def _relation_label(name: str, snap) -> str:
+    """Render one side of the join root: identity, size and physical layout."""
+    label = f"{name} v{snap.version} ({snap.rows:,} rows)"
+    storage = getattr(snap, "storage", None)
+    if storage is None:
+        return label
+    if storage == "mmap":
+        segments = getattr(snap, "segment_count", 1)
+        return f"{label} [mmap, {segments} segment{'s' if segments != 1 else ''}]"
+    return f"{label} [{storage}]"
+
+
 def _worker_counts(plan, matrix: np.ndarray, side: str, scale: float) -> np.ndarray:
     """Estimate per-worker routed input rows from a sample (full-size scale)."""
     _, workers = plan.route_to_workers(matrix, side)
@@ -193,8 +205,8 @@ def build_report(
         attrs={
             "query": getattr(prepared, "name", None)
             or f"{prepared.s_name}⋈{prepared.t_name}",
-            "s": f"{prepared.s_name} v{s_snap.version} ({s_snap.rows:,} rows)",
-            "t": f"{prepared.t_name} v{t_snap.version} ({t_snap.rows:,} rows)",
+            "s": _relation_label(prepared.s_name, s_snap),
+            "t": _relation_label(prepared.t_name, t_snap),
             "backend": prepared.engine.backend.name,
             "workers": prepared.workers,
         },

@@ -1,0 +1,84 @@
+"""Process memory accounting: resident set size, current and peak.
+
+Out-of-core execution lives or dies by resident memory, so the storage
+benchmarks and the scheduler's ``repro_process_peak_rss_bytes`` gauge read
+the numbers straight from the kernel.  On Linux, ``/proc/self/status``
+supplies ``VmRSS`` (current) and ``VmHWM`` (the peak *high-water mark*),
+and writing ``5`` to ``/proc/self/clear_refs`` resets the high-water mark —
+which is what lets a benchmark measure the peak of one phase (a streamed
+join) instead of the peak since process start.  Elsewhere the functions
+fall back to ``resource.getrusage`` (peak only, non-resettable) and report
+what they can.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = [
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "reset_peak_rss",
+    "rss_supported",
+]
+
+_PROC_STATUS = "/proc/self/status"
+_PROC_CLEAR_REFS = "/proc/self/clear_refs"
+
+
+def _read_status_kb(field: str) -> int | None:
+    """Return a ``/proc/self/status`` memory field in bytes, or ``None``."""
+    try:
+        with open(_PROC_STATUS, "rb") as fh:
+            for line in fh:
+                if line.startswith(field.encode()):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+def _getrusage_peak_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def current_rss_bytes() -> int:
+    """Return the process's current resident set size in bytes."""
+    value = _read_status_kb("VmRSS:")
+    if value is not None:
+        return value
+    return _getrusage_peak_bytes()
+
+
+def peak_rss_bytes() -> int:
+    """Return the peak resident set size in bytes (since start or reset)."""
+    value = _read_status_kb("VmHWM:")
+    if value is not None:
+        return value
+    return _getrusage_peak_bytes()
+
+
+def reset_peak_rss() -> bool:
+    """Reset the peak-RSS high-water mark to the current RSS.
+
+    Returns ``True`` when the kernel honored the reset (Linux with a
+    writable ``/proc/self/clear_refs``); callers that need phase-local
+    peaks should measure deltas from :func:`current_rss_bytes` when this
+    returns ``False``.
+    """
+    try:
+        with open(_PROC_CLEAR_REFS, "wb") as fh:
+            fh.write(b"5")
+        return True
+    except OSError:
+        return False
+
+
+def rss_supported() -> bool:
+    """Return whether exact (procfs) RSS readings are available."""
+    return os.path.exists(_PROC_STATUS)

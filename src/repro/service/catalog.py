@@ -23,12 +23,21 @@ with their query.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 from collections.abc import Mapping
 
 import numpy as np
 
-from repro.config import DEFAULT_STALENESS_THRESHOLD
+from repro.config import (
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+    DEFAULT_STALENESS_THRESHOLD,
+    DEFAULT_STORAGE_BACKEND,
+    MAX_SEGMENTS_BEFORE_REWRITE,
+    STORAGE_BACKENDS,
+)
 from repro.data.relation import Relation
 from repro.exceptions import ServiceError
 
@@ -109,6 +118,19 @@ class RelationSnapshot:
         """Return the delta-to-base row fraction."""
         return self.delta_rows / max(1, len(self.base))
 
+    @property
+    def storage(self) -> str:
+        """Return the storage backend of the relation's base."""
+        return self.base.storage
+
+    @property
+    def segment_count(self) -> int:
+        """Return the physical segment count across base and delta."""
+        total = self.base.segment_count
+        if self.delta is not None:
+            total += self.delta.segment_count
+        return total
+
     def describe(self) -> dict:
         """Return a JSON-friendly summary."""
         return {
@@ -119,6 +141,9 @@ class RelationSnapshot:
             "delta_rows": self.delta_rows,
             "staleness": self.staleness,
             "columns": list(self.base.column_names),
+            "storage": self.storage,
+            "segments": self.segment_count,
+            "bytes": self.base.nbytes + (self.delta.nbytes if self.delta else 0),
         }
 
     def __repr__(self) -> str:
@@ -140,26 +165,92 @@ class RelationCatalog:
         Callback ``on_stale(name)`` invoked (outside the catalog lock) when
         an append pushes a relation past the threshold; the service uses it
         to schedule background compaction.
+    storage:
+        ``"memory"`` (historical all-heap behavior) or ``"mmap"``:
+        registered relations of at least ``spill_threshold_bytes`` bytes are
+        spilled to memory-mapped ``.npy`` segments under ``spill_dir``, and
+        compaction maintains the segment chain incrementally on disk.
+    spill_dir:
+        Segment directory root; a private temp directory (removed by
+        :meth:`cleanup`) when ``None``.
+    spill_threshold_bytes:
+        Minimum relation payload size for spilling — small relations stay on
+        the heap even under ``storage="mmap"``.
     """
 
     def __init__(
         self,
         staleness_threshold: float = DEFAULT_STALENESS_THRESHOLD,
         on_stale=None,
+        storage: str = DEFAULT_STORAGE_BACKEND,
+        spill_dir: str | None = None,
+        spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD_BYTES,
     ) -> None:
         if staleness_threshold <= 0:
             raise ServiceError("staleness_threshold must be positive")
+        if storage not in STORAGE_BACKENDS:
+            raise ServiceError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {storage!r}"
+            )
+        if spill_threshold_bytes < 1:
+            raise ServiceError("spill_threshold_bytes must be positive")
         self.staleness_threshold = staleness_threshold
         self.on_stale = on_stale
+        self.storage = storage
+        self.spill_threshold_bytes = int(spill_threshold_bytes)
+        self._owns_spill_dir = storage == "mmap" and spill_dir is None
+        if storage == "mmap":
+            self.spill_dir = (
+                tempfile.mkdtemp(prefix="repro-catalog-") if spill_dir is None else spill_dir
+            )
+            os.makedirs(self.spill_dir, exist_ok=True)
+        else:
+            self.spill_dir = spill_dir
         self._lock = threading.Lock()
         self._entries: dict[str, RelationSnapshot] = {}
+        self._spill_lock = threading.Lock()
+        self._spill_serial = 0
+
+    def _spill_path(self, label: str) -> str:
+        """Return a fresh segment directory for ``label`` under the root."""
+        with self._spill_lock:
+            self._spill_serial += 1
+            serial = self._spill_serial
+        return os.path.join(self.spill_dir, f"{label}-{serial:05d}")
+
+    def _maybe_spill(self, relation: Relation) -> Relation:
+        """Spill a heap relation to disk segments when policy says so."""
+        if (
+            self.storage != "mmap"
+            or relation.storage != "memory"
+            or relation.nbytes < self.spill_threshold_bytes
+        ):
+            return relation
+        return relation.spill(self._spill_path(relation.name))
+
+    def cleanup(self) -> None:
+        """Remove the catalog-owned spill directory (call after shutdown).
+
+        Segment files are shared by every snapshot version that references
+        them, so individual files are never deleted while the catalog is
+        live; the whole directory goes at once when the owning service
+        closes.  Catalogs pointed at a caller-provided ``spill_dir`` leave
+        it untouched.
+        """
+        if self._owns_spill_dir and self.spill_dir:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------ #
     # Registration and lookup
     # ------------------------------------------------------------------ #
     def register(self, name: str, data, replace: bool = False) -> RelationSnapshot:
-        """Register a relation under ``name`` (a fresh base with no delta)."""
-        relation = _as_relation(name, data)
+        """Register a relation under ``name`` (a fresh base with no delta).
+
+        Under ``storage="mmap"`` a heap relation at or above the spill
+        threshold is rewritten to memory-mapped segments before it enters
+        the catalog, so registration — not first query — pays the I/O.
+        """
+        relation = self._maybe_spill(_as_relation(name, data))
         with self._lock:
             existing = self._entries.get(name)
             if existing is not None and not replace:
@@ -243,6 +334,13 @@ class RelationCatalog:
         materialized results for the current version remain servable — but
         the base lineage is bumped: the next uncached query re-optimizes
         over the full data instead of taking the delta path.
+
+        The merge never materializes the whole relation at once.  A heap
+        base concatenates column by column (peak transient memory is one
+        column pair), then spills if it crossed the threshold.  An mmap
+        base spills the delta and unions the segment chains — O(delta)
+        I/O — rewriting the chain into even segments only once it exceeds
+        ``MAX_SEGMENTS_BEFORE_REWRITE``.
         """
         with self._lock:
             current = self._entries.get(name)
@@ -250,8 +348,19 @@ class RelationCatalog:
                 raise ServiceError(f"cannot compact unknown relation {name!r}")
             if current.delta is None:
                 return current
+            base, delta = current.base, current.delta
+            if base.storage == "mmap":
+                delta = delta.spill(self._spill_path(f"{name}-delta"))
+                merged = base.concat(delta)
+                if merged.segment_count > MAX_SEGMENTS_BEFORE_REWRITE:
+                    merged = Relation.from_store(
+                        name,
+                        merged.store.compacted(self._spill_path(f"{name}-compact")),
+                    )
+            else:
+                merged = self._maybe_spill(base.concat(delta))
             snapshot = RelationSnapshot(
-                name, current.version, current.base_version + 1, current.full, None
+                name, current.version, current.base_version + 1, merged, None
             )
             self._entries[name] = snapshot
             return snapshot

@@ -601,6 +601,14 @@ class PreparedQuery:
 def gather_rows(relation, attributes, rows) -> np.ndarray:
     """Extract the join-attribute values of selected rows without
     materializing the full ``(n, d)`` join matrix of the relation."""
+    store = getattr(relation, "store", None)
+    if store is not None:
+        # Gather through the column store: an mmap-backed relation reads
+        # only the touched pages instead of materializing whole columns.
+        idx = np.asarray(rows)
+        return np.column_stack(
+            [store.take(a, idx).astype(float, copy=False) for a in attributes]
+        )
     return np.column_stack(
         [np.asarray(relation.column(a), dtype=float)[rows] for a in attributes]
     )

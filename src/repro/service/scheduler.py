@@ -48,6 +48,7 @@ from repro.obs import (
     NOOP_SPAN,
     MetricsRegistry,
     get_logger,
+    peak_rss_bytes,
     percentile,
     tracer,
 )
@@ -91,6 +92,10 @@ class SchedulerMetrics:
             "request latency by stage",
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        self._peak_rss = self.registry.gauge(
+            "repro_process_peak_rss_bytes",
+            "peak resident set size of the serving process",
+        )
         self._latencies: deque = deque(maxlen=window)  # (queue_s, exec_s, total_s)
 
     # -- write paths ---------------------------------------------------- #
@@ -119,6 +124,14 @@ class SchedulerMetrics:
 
     def record_failure(self) -> None:
         self._events.inc(event="failed")
+
+    def sample_rss(self) -> None:
+        """Refresh the peak-RSS gauge (called after each executed batch)."""
+        self._peak_rss.set(peak_rss_bytes())
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        return int(self._peak_rss.value())
 
     # -- read paths (API-compatible with the pre-registry counters) ----- #
     def _event(self, name: str) -> int:
@@ -175,6 +188,7 @@ class SchedulerMetrics:
             "batched": self.batched,
             "rejected": self.rejected,
             "paths": self.paths,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
         info["latency"] = self.latency_percentiles()
         return info
@@ -540,6 +554,7 @@ class QueryScheduler:
                 )
         if len(batch) > 1:
             self.metrics.record_batched(len(batch) - 1)
+        self.metrics.sample_rss()
         # Telemetry is finalised before the futures resolve: a caller ending
         # the enclosing request span right after .result() must find every
         # member's "query" span already ended.

@@ -99,11 +99,15 @@ class BandJoinService:
             algorithm=self.config.local_algorithm,
             plan_cache=PlanCache(max_entries=self.config.plan_cache_size),
             memory_budget=self.config.kernel_memory_budget,
+            spill_dir=self.config.spill_dir,
         )
         bind_plan_cache(self.registry, self.engine.plan_cache)
         self.catalog = RelationCatalog(
             staleness_threshold=self.config.staleness_threshold,
             on_stale=self._on_stale if self.config.compaction != "off" else None,
+            storage=self.config.storage,
+            spill_dir=self.config.spill_dir,
+            spill_threshold_bytes=self.config.spill_threshold_bytes,
         )
         #: Persistent (estimate, actual, features) spool when a calibration
         #: log is configured; in-memory otherwise.  ``calibrate()`` on it
@@ -437,6 +441,7 @@ class BandJoinService:
         self.monitor.stop()
         self.scheduler.close()
         self.drain_maintenance()
+        self.catalog.cleanup()
         if self.recorder is not None:
             self.recorder.close()
 
