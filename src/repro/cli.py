@@ -251,6 +251,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spool (estimate, actual, features) records of executed queries "
         "to this JSONL file for cost-model recalibration",
     )
+    serve.add_argument(
+        "--inject-fault",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos spec like 'worker_crash:0.1,task_slow:0.05,"
+        "spill_torn:1' (kinds: worker_crash, task_slow, spill_torn; a "
+        "missing rate means 1.0)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed of the fault injector's firing decisions (replayable chaos)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default end-to-end deadline applied to every query",
+    )
+    serve.add_argument(
+        "--degraded-mode",
+        choices=("stale", "reject"),
+        default=None,
+        help="overload behavior: serve a marked version-stale cached result "
+        "('stale', default) or always reject ('reject')",
+    )
 
     stats = subparsers.add_parser(
         "stats", help="query a running TCP server's live stats surface"
@@ -335,6 +365,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the replayed log's Workload snapshot JSON here",
+    )
+    replay.add_argument(
+        "--inject-fault",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="replay under deterministic chaos, e.g. 'worker_crash:0.1'; "
+        "fingerprint verification still applies, so the replay proves "
+        "recovery never changes answers",
+    )
+    replay.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed of the fault injector's firing decisions",
     )
 
     subparsers.add_parser("list", help="list available tables and workloads")
@@ -531,6 +577,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         overrides["slo_interval"] = args.slo_interval
     if args.calibration_log is not None:
         overrides["calibration_log"] = args.calibration_log
+    if args.inject_fault is not None:
+        overrides["inject_faults"] = args.inject_fault
+    if args.fault_seed is not None:
+        overrides["fault_seed"] = args.fault_seed
+    if args.deadline is not None:
+        overrides["default_deadline_seconds"] = args.deadline
+    if args.degraded_mode is not None:
+        overrides["degraded_mode"] = args.degraded_mode
     service = BandJoinService(config=ServiceConfig(**overrides))
     with service:
         if args.port is None:
@@ -642,11 +696,15 @@ def _command_replay(args: argparse.Namespace) -> int:
     from repro.config import ServiceConfig
     from repro.obs.workload import Workload, replay_log
 
-    overrides = {"capture": False, "compaction": "sync"}
+    overrides = {"capture": False, "compaction": "sync", "degraded_mode": "reject"}
     if args.backend is not None:
         overrides["backend"] = args.backend
     if args.scheduler_workers is not None:
         overrides["scheduler_workers"] = args.scheduler_workers
+    if args.inject_fault is not None:
+        overrides["inject_faults"] = args.inject_fault
+    if args.fault_seed is not None:
+        overrides["fault_seed"] = args.fault_seed
     report = replay_log(args.log, config=ServiceConfig(**overrides), speed=args.speed)
     print(report.describe())
     if args.snapshot:

@@ -286,6 +286,24 @@ class ServiceConfig:
         matrices — the catalog can then hold data bigger than RAM.
         ``storage="memory"`` (default) keeps the historical all-heap
         behavior.
+    inject_faults / fault_seed:
+        Deterministic chaos: ``inject_faults`` is a fault spec like
+        ``"worker_crash:0.1,task_slow:0.05,spill_torn:1"`` (see
+        :func:`repro.faults.parse_fault_spec`), installed process-wide when
+        the service starts; ``fault_seed`` makes firing decisions
+        replayable.  ``None`` (default) injects nothing.
+    degraded_mode:
+        Overload behavior: ``"stale"`` (default) answers an overloaded
+        request from a version-stale cached result — explicitly marked —
+        when one exists; ``"reject"`` always raises
+        :class:`~repro.exceptions.ServiceOverloadError`.
+    default_deadline_seconds:
+        End-to-end deadline applied to every query that does not pass its
+        own (``None`` = unbounded): expired-in-queue requests fail fast and
+        the remaining budget bounds execution waits.
+    shutdown_drain_seconds:
+        Graceful-shutdown budget: how long ``close()`` lets in-flight
+        requests finish before failing the remainder.
     """
 
     backend: str = "threads"
@@ -316,6 +334,11 @@ class ServiceConfig:
     storage: str = DEFAULT_STORAGE_BACKEND
     spill_dir: str | None = None
     spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD_BYTES
+    inject_faults: str | None = None
+    fault_seed: int = DEFAULT_SEED
+    degraded_mode: str = "stale"
+    default_deadline_seconds: float | None = None
+    shutdown_drain_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.backend not in ENGINE_BACKENDS:
@@ -370,6 +393,18 @@ class ServiceConfig:
             )
         if self.spill_threshold_bytes < 1:
             raise ValueError("spill_threshold_bytes must be positive")
+        if self.inject_faults is not None:
+            from repro.faults import parse_fault_spec
+
+            parse_fault_spec(self.inject_faults)  # validates kinds and rates
+        if self.degraded_mode not in ("stale", "reject"):
+            raise ValueError(
+                f"degraded_mode must be 'stale' or 'reject', got {self.degraded_mode!r}"
+            )
+        if self.default_deadline_seconds is not None and self.default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be positive when set")
+        if self.shutdown_drain_seconds < 0:
+            raise ValueError("shutdown_drain_seconds must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -38,12 +38,14 @@ import shutil
 import tempfile
 import threading
 import uuid
+import zlib
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import SchemaError
+from repro import faults
+from repro.exceptions import CorruptSegmentError, SchemaError
 
 __all__ = [
     "DEFAULT_BLOCK_BYTES",
@@ -56,7 +58,36 @@ __all__ = [
     "SpillArena",
     "block_spans",
     "madvise_dontneed",
+    "recover_spill_dir",
 ]
+
+#: Suffix of in-flight segment files; a crash mid-write leaves only files
+#: with this suffix behind (finished segments are renamed into place), so
+#: startup recovery is "delete every ``*.tmp``".
+TMP_SUFFIX: str = ".tmp"
+
+
+def recover_spill_dir(directory: str) -> list[str]:
+    """Sweep orphaned in-flight segment files under ``directory``.
+
+    A crash between segment start and the atomic rename leaves ``*.tmp``
+    files that no manifest references; they are garbage by construction
+    (finished segments are fsynced and renamed before anything points at
+    them).  Returns the removed paths.
+    """
+    removed: list[str] = []
+    if not directory or not os.path.isdir(directory):
+        return removed
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            if name.endswith(TMP_SUFFIX):
+                path = os.path.join(root, name)
+                try:
+                    os.unlink(path)
+                    removed.append(path)
+                except OSError:  # pragma: no cover - raced by another sweep
+                    pass
+    return removed
 
 #: Default byte size of one streamed block (slice reads, segment writes,
 #: block-wise hashing).  Large enough to amortize per-call overhead, small
@@ -243,15 +274,23 @@ class Segment:
 
     ``files`` maps column name to the ``.npy`` file holding that column's
     rows of this segment; ``stats`` optionally caches per-column (min, max)
-    so bounds queries never touch the data.
+    so bounds queries never touch the data; ``checksums`` holds the CRC32 of
+    each column file's payload bytes, letting :meth:`MmapColumnStore.verify`
+    detect bit rot and torn writes without trusting the writer.
     """
 
     rows: int
     files: dict
     stats: dict
+    checksums: dict = field(default_factory=dict)
 
     def spec(self) -> dict:
-        return {"rows": self.rows, "files": dict(self.files), "stats": dict(self.stats)}
+        return {
+            "rows": self.rows,
+            "files": dict(self.files),
+            "stats": dict(self.stats),
+            "checksums": dict(self.checksums),
+        }
 
     @classmethod
     def from_spec(cls, spec: dict) -> "Segment":
@@ -259,6 +298,7 @@ class Segment:
             rows=int(spec["rows"]),
             files=dict(spec["files"]),
             stats={k: tuple(v) for k, v in spec.get("stats", {}).items()},
+            checksums={k: int(v) for k, v in spec.get("checksums", {}).items()},
         )
 
 
@@ -381,7 +421,12 @@ class MmapColumnStore(ColumnStore):
         for chunk in chunks:
             writer.append({name: np.asarray(values) for name, values in chunk.items()})
         segments = writer.finish()
-        return cls(segments, directory=directory, recycle_bytes=recycle_bytes)
+        store = cls(segments, directory=directory, recycle_bytes=recycle_bytes)
+        # Validate before anything references the store: a torn write (crash,
+        # full disk, injected fault) surfaces here as CorruptSegmentError,
+        # while the caller can still retry into a fresh directory.
+        store.validate()
+        return store
 
     @classmethod
     def from_store(
@@ -459,7 +504,74 @@ class MmapColumnStore(ColumnStore):
         return cached
 
     def _open(self, segment: Segment, name: str) -> np.memmap:
-        return self._cache.open(segment.files[name])
+        """Open one segment column, validating it against the metadata.
+
+        A missing file, an unreadable/truncated ``.npy``, or a row count
+        that disagrees with the segment spec raises
+        :class:`~repro.exceptions.CorruptSegmentError` — torn segments must
+        fail loudly on open, never be served as data.
+        """
+        path = segment.files[name]
+        try:
+            mapped = self._cache.open(path)
+        except FileNotFoundError:
+            raise CorruptSegmentError(
+                f"segment file {path!r} is missing (expected {segment.rows} rows "
+                f"of column {name!r})"
+            ) from None
+        except (ValueError, OSError) as exc:
+            raise CorruptSegmentError(
+                f"segment file {path!r} is unreadable or truncated: {exc}"
+            ) from None
+        if int(mapped.shape[0]) != segment.rows:
+            raise CorruptSegmentError(
+                f"segment file {path!r} holds {int(mapped.shape[0])} rows, "
+                f"expected {segment.rows}"
+            )
+        return mapped
+
+    def validate(self) -> int:
+        """Open-validate every segment column (existence, readability, rows).
+
+        Cheap (metadata only — no payload scan); the write path calls this
+        so a torn write is caught while the writer can still recover.
+        Returns the number of files checked.
+        """
+        checked = 0
+        for segment in self._segments:
+            for name in self._names:
+                self._open(segment, name)
+                checked += 1
+        return checked
+
+    def verify(self, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        """Deep-verify payload checksums of every segment column.
+
+        Recomputes each file's CRC32 block-by-block (bounded memory) and
+        compares against the checksum recorded at write time; raises
+        :class:`~repro.exceptions.CorruptSegmentError` on the first
+        mismatch.  Segments written before checksums existed are skipped.
+        Returns the number of files whose checksum was verified.
+        """
+        verified = 0
+        for segment in self._segments:
+            for name in self._names:
+                expected = segment.checksums.get(name)
+                if expected is None:
+                    continue
+                mapped = self._open(segment, name)
+                block_rows = max(1, block_bytes // max(1, mapped.itemsize))
+                crc = 0
+                for start, stop in block_spans(segment.rows, block_rows):
+                    crc = zlib.crc32(mapped[start:stop].tobytes(), crc)
+                self._cache.charge(segment.files[name], mapped, mapped.nbytes)
+                if crc != int(expected):
+                    raise CorruptSegmentError(
+                        f"segment file {segment.files[name]!r} checksum mismatch: "
+                        f"payload crc32={crc}, recorded {int(expected)}"
+                    )
+                verified += 1
+        return verified
 
     def read(self, name: str, start: int, stop: int) -> np.ndarray:
         self._check_column(name)
@@ -592,7 +704,15 @@ class MmapColumnStore(ColumnStore):
 
 
 class _SegmentWriter:
-    """Accumulates chunk mappings into bounded ``.npy`` segments."""
+    """Accumulates chunk mappings into bounded ``.npy`` segments.
+
+    Segments are **crash-safe**: every column file is written to a
+    ``*.tmp`` sibling, flushed and fsynced, then atomically renamed into
+    place — a crash at any point leaves either a complete, durable segment
+    or an orphaned tmp file that startup recovery
+    (:func:`recover_spill_dir`) sweeps.  The payload CRC32 of each column is
+    recorded on the :class:`Segment` for later deep verification.
+    """
 
     def __init__(self, directory: str, segment_bytes: int) -> None:
         self.directory = directory
@@ -603,6 +723,7 @@ class _SegmentWriter:
         self._open_rows = 0
         self._open_bytes = 0
         self._open_stats: dict[str, tuple[float, float]] = {}
+        self._open_crc: dict[str, int] = {}
         self._names: tuple[str, ...] | None = None
         self._dtypes: dict[str, np.dtype] = {}
 
@@ -627,7 +748,9 @@ class _SegmentWriter:
             values = np.ascontiguousarray(chunk[name])
             if values.dtype != self._dtypes[name]:
                 values = values.astype(self._dtypes[name])
-            self._open_files[name].write(values.tobytes())
+            payload = values.tobytes()
+            self._open_files[name].write(payload)
+            self._open_crc[name] = zlib.crc32(payload, self._open_crc.get(name, 0))
             stat = self._open_stats.get(name)
             if np.issubdtype(values.dtype, np.number) and values.size:
                 lo, hi = float(values.min()), float(values.max())
@@ -644,11 +767,15 @@ class _SegmentWriter:
         self._open_paths = {}
         self._open_files = {}
         self._open_stats = {}
+        self._open_crc = {}
         self._open_rows = 0
         self._open_bytes = 0
         for name in self._names or ():
             path = os.path.join(self.directory, f"seg{index:05d}__{name}.npy")
-            handle = open(path, "wb")
+            # In-flight data lives under the tmp name; the finished segment
+            # is fsynced and renamed into place, so ``path`` either holds a
+            # complete segment or nothing.
+            handle = open(path + TMP_SUFFIX, "wb")
             # Placeholder header; rewritten with the true shape on close.
             np.lib.format.write_array_header_2_0(
                 handle,
@@ -661,8 +788,12 @@ class _SegmentWriter:
 
     def _close_segment(self) -> None:
         if not self._open_files or self._open_rows == 0:
-            for handle in self._open_files.values():
+            for name, handle in self._open_files.items():
                 handle.close()
+                try:
+                    os.unlink(self._open_paths[name] + TMP_SUFFIX)
+                except OSError:  # pragma: no cover - nothing was written
+                    pass
             self._open_files = {}
             return
         for name, handle in self._open_files.items():
@@ -672,15 +803,34 @@ class _SegmentWriter:
                 {"descr": np.lib.format.dtype_to_descr(self._dtypes[name]),
                  "fortran_order": False, "shape": (self._open_rows,)},
             )
+            handle.flush()
+            os.fsync(handle.fileno())
             handle.close()
+            os.rename(self._open_paths[name] + TMP_SUFFIX, self._open_paths[name])
         self.segments.append(
             Segment(
                 rows=self._open_rows,
                 files=dict(self._open_paths),
                 stats=dict(self._open_stats),
+                checksums=dict(self._open_crc),
             )
         )
+        self._inject_torn_segment()
         self._open_files = {}
+
+    def _inject_torn_segment(self) -> None:
+        """Chaos hook: truncate a just-finished segment file when a
+        ``spill_torn`` fault fires, simulating a torn write that slipped
+        past the crash window.  The read path must turn this into
+        :class:`~repro.exceptions.CorruptSegmentError`, never wrong data."""
+        injector = faults.active()
+        if injector is None or not injector.fire(
+            "spill_torn", self.directory, len(self.segments)
+        ):
+            return
+        path = next(iter(self._open_paths.values()))
+        size = os.path.getsize(path)
+        os.truncate(path, max(1, size - 16))
 
     def finish(self) -> list[Segment]:
         self._close_segment()

@@ -27,12 +27,22 @@ import abc
 import copy
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import (
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.data.storage import SpillArena, block_spans, madvise_dontneed
+from repro.engine import deadline
 from repro.engine.routing import WorkerTask, gather_task_inputs
 from repro.engine.shared import (
     SharedStoreDescriptor,
@@ -42,10 +52,13 @@ from repro.engine.shared import (
     SpilledTaskReader,
     SpilledTaskStore,
 )
-from repro.exceptions import ExecutionError
+from repro.exceptions import DeadlineExceededError, ExecutionError
+from repro.faults import InjectedWorkerCrash
 from repro.geometry.band import BandCondition
 from repro.local_join.base import LocalJoinAlgorithm
 from repro.local_join.kernels import kernel_scratch
+from repro.obs.globals import registry as obs_registry
+from repro.obs.globals import tracer
 from repro.obs.tracing import SpanContext, span_record
 
 #: Per-side byte size above which an out-of-core task gathers its shifted
@@ -53,6 +66,42 @@ from repro.obs.tracing import SpanContext, span_record
 #: kernels spill their permuted copies the same way).  Only relevant when a
 #: side is a matrix *source* — plain in-memory joins never spill.
 TASK_SPILL_BYTES: int = 8 * 1024 * 1024
+
+#: Default bound on how many times one lost task is re-executed (and on pool
+#: rebuilds per dispatch) before the process backend falls back to in-driver
+#: execution.
+MAX_TASK_RETRIES: int = 3
+
+#: First retry delay after a worker crash; doubles per crash, capped below.
+RETRY_BACKOFF_SECONDS: float = 0.05
+
+#: Upper bound on the exponential retry backoff.
+RETRY_BACKOFF_CAP: float = 1.0
+
+
+def _crash_counter():
+    return obs_registry().counter(
+        "repro_worker_crashes_total",
+        "worker deaths (real or injected) observed by execution backends",
+    )
+
+
+def _retry_counter():
+    return obs_registry().counter(
+        "repro_task_retries_total",
+        "partition tasks re-executed after a worker failure",
+    )
+
+
+def _fallback_counter():
+    return obs_registry().counter(
+        "repro_backend_fallbacks_total",
+        "dispatches completed on a simpler backend after repeated failures",
+    )
+
+
+class _WorkerStall(ExecutionError):
+    """No pool progress within the per-task timeout: a worker is hung."""
 
 
 @dataclass
@@ -135,6 +184,11 @@ def execute_task(
             local_seconds=0.0,
             pairs=np.empty((0, 2), dtype=np.int64) if materialize else None,
         )
+    # Chaos hook: a fired ``task_slow`` point stalls this task before its
+    # kernel runs, simulating a straggling worker — keyed so every task of
+    # every dispatch draws independently, whatever kernel is selected (the
+    # chunk loop's unkeyed hook only covers windowed kernels).
+    faults.maybe_slow("task", task.worker_id)
     streamed = not (isinstance(s_matrix, np.ndarray) and isinstance(t_matrix, np.ndarray))
     if streamed and max(
         _side_bytes(s_matrix, task.s_rows), _side_bytes(t_matrix, task.t_rows)
@@ -279,17 +333,51 @@ class SerialBackend(ExecutionBackend):
         trace_ctx=None,
     ):
         algorithm = self._budgeted(algorithm, concurrency=1)
-        return [
-            execute_task(
-                task, s_matrix, t_matrix, condition, algorithm, materialize,
-                trace_ctx=trace_ctx,
+        outcomes = []
+        for task in tasks:
+            deadline.check("serial execution")
+            outcomes.append(
+                execute_task(
+                    task, s_matrix, t_matrix, condition, algorithm, materialize,
+                    trace_ctx=trace_ctx,
+                )
             )
-            for task in tasks
-        ]
+        return outcomes
+
+
+def _thread_run_task(
+    task, index, attempt, allow_crash,
+    s_matrix, t_matrix, condition, algorithm, materialize, trace_ctx,
+):
+    """Run one task on a pool thread, simulating injected worker crashes.
+
+    A fired ``worker_crash`` point raises :class:`InjectedWorkerCrash` (the
+    thread-pool stand-in for a process death); the driver retries the task
+    with a fresh attempt number.  ``allow_crash=False`` marks the bounded
+    retry loop's final attempt, which always runs to completion.
+    """
+    injector = faults.active()
+    if (
+        allow_crash
+        and injector is not None
+        and injector.fire("worker_crash", "threads", index, attempt)
+    ):
+        raise InjectedWorkerCrash(
+            f"injected crash of thread worker on task {index} (attempt {attempt})"
+        )
+    return execute_task(
+        task, s_matrix, t_matrix, condition, algorithm, materialize,
+        trace_ctx=trace_ctx,
+    )
 
 
 class ThreadPoolBackend(ExecutionBackend):
     """Thread-pool backend exploiting numpy's GIL release.
+
+    Simulated worker crashes (:class:`InjectedWorkerCrash` raised by a fault
+    injector) are retried per task up to :data:`MAX_TASK_RETRIES` times; the
+    final attempt runs crash-free, so availability never depends on a lucky
+    draw.  An active request deadline bounds the driver's waits.
 
     Parameters
     ----------
@@ -322,15 +410,53 @@ class ThreadPoolBackend(ExecutionBackend):
                 trace_ctx=trace_ctx,
             )
         algorithm = self._budgeted(algorithm, concurrency=pool_size)
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            futures = [
+        outcomes: dict[int, TaskOutcome] = {}
+        pool = ThreadPoolExecutor(max_workers=pool_size)
+        try:
+            pending = {
                 pool.submit(
-                    execute_task, task, s_matrix, t_matrix, condition,
-                    algorithm, materialize, trace_ctx=trace_ctx,
+                    _thread_run_task, task, index, 0, True,
+                    s_matrix, t_matrix, condition, algorithm, materialize,
+                    trace_ctx,
+                ): (index, 0)
+                for index, task in enumerate(tasks)
+            }
+            while pending:
+                done, _ = futures_wait(
+                    set(pending), timeout=deadline.remaining(),
+                    return_when=FIRST_COMPLETED,
                 )
-                for task in tasks
-            ]
-            return [future.result() for future in futures]
+                if not done:
+                    raise DeadlineExceededError(
+                        "deadline exceeded waiting on thread-pool tasks"
+                    )
+                for future in done:
+                    index, attempt = pending.pop(future)
+                    try:
+                        outcomes[index] = future.result()
+                    except InjectedWorkerCrash:
+                        _crash_counter().inc(backend=self.name)
+                        _retry_counter().inc(backend=self.name)
+                        next_attempt = attempt + 1
+                        if trace_ctx is not None:
+                            tracer().record(
+                                "task_retry", trace_ctx, start=time.time(),
+                                duration=0.0, backend=self.name, task=index,
+                                attempt=next_attempt,
+                            )
+                        pending[
+                            pool.submit(
+                                _thread_run_task, tasks[index], index,
+                                next_attempt, next_attempt < MAX_TASK_RETRIES,
+                                s_matrix, t_matrix, condition, algorithm,
+                                materialize, trace_ctx,
+                            )
+                        ] = (index, next_attempt)
+            pool.shutdown(wait=False)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        return [outcomes[index] for index in range(len(tasks))]
 
 
 # Per-process state of the process-pool backend, populated by the pool
@@ -344,6 +470,7 @@ def _process_initializer(
     algorithm: LocalJoinAlgorithm,
     materialize: bool,
     trace_ctx: SpanContext | None = None,
+    fault_state: tuple | None = None,
 ) -> None:
     if isinstance(descriptor, SpilledStoreDescriptor):
         _PROCESS_STATE["reader"] = SpilledTaskReader(descriptor)
@@ -353,9 +480,21 @@ def _process_initializer(
     _PROCESS_STATE["algorithm"] = algorithm
     _PROCESS_STATE["materialize"] = materialize
     _PROCESS_STATE["trace_ctx"] = trace_ctx
+    # Explicit (un)install: with a forked worker the parent's injector is
+    # inherited, so the driver's choice must override either way.
+    if fault_state is not None:
+        rates, seed, slow_seconds = fault_state
+        faults.install(faults.FaultInjector(rates, seed=seed, slow_seconds=slow_seconds))
+    else:
+        faults.uninstall()
 
 
-def _process_run_task(index: int) -> TaskOutcome:
+def _process_run_task(index: int, attempt: int = 0) -> TaskOutcome:
+    injector = faults.active()
+    if injector is not None and injector.fire("worker_crash", "processes", index, attempt):
+        # Simulated segfault/OOM kill: die without cleanup, exactly like the
+        # real thing.  The driver sees BrokenProcessPool and recovers.
+        os._exit(17)
     reader: SharedTaskReader = _PROCESS_STATE["reader"]
     return execute_task(
         reader.task(index),
@@ -369,12 +508,23 @@ def _process_run_task(index: int) -> TaskOutcome:
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Process-pool backend with shared-memory column transfer.
+    """Process-pool backend with shared-memory column transfer and crash
+    recovery.
 
     The join matrices and the routed row-index/offset arrays are placed into
     shared memory once; each task is submitted as a single integer index.
     Only the output (pair arrays or counts) crosses the process boundary by
     pickling.
+
+    A worker death (``BrokenProcessPool`` — OOM kill, segfault, injected
+    crash) or a hang past ``task_timeout`` loses only the tasks that had not
+    completed: the pool is rebuilt and exactly those tasks are re-submitted
+    with capped exponential backoff, up to ``max_task_retries`` rounds.
+    Past that the dispatch falls back to the thread backend (and, should
+    that fail too, to serial) — the query still answers with the identical
+    pair set, just slower.  Recovery surfaces through the process-wide
+    telemetry (``repro_worker_crashes_total``, ``repro_task_retries_total``,
+    ``repro_backend_fallbacks_total``) and ``task_retry`` span events.
 
     Unlike the threads backend, a pool of size 1 is *not* short-circuited to
     the serial path: running off-process is this backend's semantic (a
@@ -386,19 +536,43 @@ class ProcessPoolBackend(ExecutionBackend):
     ----------
     max_workers:
         Pool size; defaults to the number of CPUs available to the process.
+    task_timeout:
+        Seconds without any task completing before the pool is declared
+        hung, its workers killed, and the round retried (``None`` disables
+        the hang detector).
+    max_task_retries:
+        Crash/hang rounds tolerated per dispatch before falling back.
     """
 
     name = "processes"
 
     def __init__(
-        self, max_workers: int | None = None, memory_budget: int | None = None
+        self,
+        max_workers: int | None = None,
+        memory_budget: int | None = None,
+        task_timeout: float | None = None,
+        max_task_retries: int = MAX_TASK_RETRIES,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ExecutionError("max_workers must be positive")
         if memory_budget is not None and memory_budget < 1:
             raise ExecutionError("memory_budget must be positive")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ExecutionError("task_timeout must be positive when set")
+        if max_task_retries < 0:
+            raise ExecutionError("max_task_retries must be non-negative")
         self.max_workers = max_workers
         self.memory_budget = memory_budget
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        #: PIDs of the most recently observed live pool workers (refreshed
+        #: while a dispatch runs) — lets chaos tests SIGKILL a real worker.
+        self._live_pids: tuple[int, ...] = ()
+
+    @property
+    def live_worker_pids(self) -> tuple[int, ...]:
+        """Return the worker PIDs observed during the current dispatch."""
+        return self._live_pids
 
     def run(
         self, tasks, s_matrix, t_matrix, condition, algorithm, materialize,
@@ -416,15 +590,165 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         store_cls = SpilledTaskStore if streamed else SharedTaskStore
         with store_cls(s_matrix, t_matrix, tasks) as store:
-            with ProcessPoolExecutor(
-                max_workers=pool_size,
+            injector = faults.active()
+            fault_state = (
+                (injector.rates, injector.seed, injector.slow_seconds)
+                if injector is not None
+                else None
+            )
+            initargs = (
+                store.descriptor, condition, algorithm, materialize, trace_ctx,
+                fault_state,
+            )
+            outcomes = self._run_with_recovery(
+                tasks, pool_size, initargs, trace_ctx
+            )
+            lost = [index for index in range(len(tasks)) if index not in outcomes]
+            if lost:
+                for index, outcome in zip(
+                    lost,
+                    self._run_fallback(
+                        [tasks[index] for index in lost], s_matrix, t_matrix,
+                        condition, algorithm, materialize, trace_ctx,
+                    ),
+                ):
+                    outcomes[index] = outcome
+            return [outcomes[index] for index in range(len(tasks))]
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    def _run_with_recovery(
+        self, tasks, pool_size: int, initargs: tuple, trace_ctx
+    ) -> dict[int, TaskOutcome]:
+        """Execute tasks on (re-built) pools; returns what completed.
+
+        Tasks still missing from the returned mapping after
+        ``max_task_retries`` crash/hang rounds are the caller's to run on a
+        fallback backend.
+        """
+        outcomes: dict[int, TaskOutcome] = {}
+        crashes = 0
+        while len(outcomes) < len(tasks):
+            remaining_idx = [i for i in range(len(tasks)) if i not in outcomes]
+            pool = ProcessPoolExecutor(
+                max_workers=min(pool_size, len(remaining_idx)),
                 initializer=_process_initializer,
-                initargs=(
-                    store.descriptor, condition, algorithm, materialize,
-                    trace_ctx,
-                ),
-            ) as pool:
-                return list(pool.map(_process_run_task, range(len(tasks))))
+                initargs=initargs,
+            )
+            try:
+                self._dispatch_round(pool, tasks, remaining_idx, crashes, outcomes)
+                # Every future resolved: workers are idle, the join is quick,
+                # and waiting keeps the shared-memory store's teardown clean.
+                pool.shutdown(wait=True)
+                break
+            except (BrokenProcessPool, _WorkerStall) as exc:
+                self._kill_pool(pool)
+                crashes += 1
+                _crash_counter().inc(backend=self.name)
+                lost = [i for i in remaining_idx if i not in outcomes]
+                if crashes > self.max_task_retries:
+                    _fallback_counter().inc(source=self.name, target="threads")
+                    if trace_ctx is not None:
+                        tracer().record(
+                            "backend_fallback", trace_ctx, start=time.time(),
+                            duration=0.0, source=self.name, lost=len(lost),
+                            crashes=crashes,
+                        )
+                    break
+                _retry_counter().inc(len(lost), backend=self.name)
+                backoff = min(
+                    RETRY_BACKOFF_CAP,
+                    RETRY_BACKOFF_SECONDS * (2 ** (crashes - 1)),
+                )
+                budget = deadline.remaining()
+                if budget is not None:
+                    backoff = min(backoff, budget)
+                if trace_ctx is not None:
+                    tracer().record(
+                        "task_retry", trace_ctx, start=time.time(),
+                        duration=0.0, backend=self.name, lost=len(lost),
+                        attempt=crashes, backoff_seconds=backoff,
+                        cause=type(exc).__name__,
+                    )
+                if backoff > 0:
+                    time.sleep(backoff)
+            except BaseException:
+                self._kill_pool(pool)
+                raise
+        return outcomes
+
+    def _dispatch_round(
+        self, pool, tasks, remaining_idx, attempt: int, outcomes: dict
+    ) -> None:
+        """Submit one round of tasks and collect until done, hang or crash."""
+        pending = {
+            pool.submit(_process_run_task, index, attempt): index
+            for index in remaining_idx
+        }
+        while pending:
+            procs = getattr(pool, "_processes", None) or {}
+            self._live_pids = tuple(proc.pid for proc in procs.values())
+            budget = deadline.remaining()
+            timeout = self.task_timeout
+            if budget is not None:
+                timeout = budget if timeout is None else min(timeout, budget)
+            done, _ = futures_wait(
+                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                remaining_budget = deadline.remaining()
+                if remaining_budget is not None and remaining_budget <= 0:
+                    self._kill_pool(pool)
+                    raise DeadlineExceededError(
+                        "deadline exceeded waiting on process-pool tasks"
+                    )
+                # No completion within the hang window: kill the workers so
+                # the lost tasks can retry on a fresh pool.
+                raise _WorkerStall(
+                    f"no task completed within task_timeout={self.task_timeout}s"
+                )
+            for future in done:
+                index = pending.pop(future)
+                outcomes[index] = future.result()
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Forcefully tear a (possibly wedged) pool down without waiting."""
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already-dead workers are fine
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken pools may refuse shutdown
+            pass
+
+    def _run_fallback(
+        self, tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+        trace_ctx,
+    ) -> list[TaskOutcome]:
+        """Run lost tasks in-driver: threads first, serial as last resort.
+
+        The thread backend's own bounded retry loop absorbs injected
+        crashes; the serial pass additionally runs with injection suppressed
+        — the recovery chain terminates even at a 100% crash rate.
+        """
+        try:
+            return ThreadPoolBackend(
+                max_workers=self.max_workers, memory_budget=self.memory_budget
+            ).run(
+                tasks, s_matrix, t_matrix, condition, algorithm, materialize,
+                trace_ctx=trace_ctx,
+            )
+        except (InjectedWorkerCrash, BrokenProcessPool):
+            _fallback_counter().inc(source="threads", target="serial")
+            with faults.suppressed():
+                return SerialBackend(memory_budget=self.memory_budget).run(
+                    tasks, s_matrix, t_matrix, condition, algorithm,
+                    materialize, trace_ctx=trace_ctx,
+                )
 
 
 #: Name of the legacy in-driver simulated path (not an engine backend; the

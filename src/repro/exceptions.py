@@ -60,3 +60,15 @@ class ServiceError(ReproError):
 class ServiceOverloadError(ServiceError):
     """The query scheduler rejected a request because the admission-control
     limit on pending queries was reached; retry after in-flight work drains."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its execution finished; the
+    caller set a per-request (or service-default) deadline and the scheduler
+    or an execution backend gave up rather than tie up a worker."""
+
+
+class CorruptSegmentError(ReproError):
+    """An on-disk column segment failed validation on open (missing file,
+    truncated payload, row-count or checksum mismatch).  Raised instead of
+    silently serving wrong data; the writer path recovers by rewriting."""

@@ -1,0 +1,233 @@
+"""Deterministic fault injection: the substrate the fault-tolerance layer
+is tested against.
+
+A :class:`FaultInjector` holds per-kind firing rates and decides — from a
+seeded hash, never from wall-clock randomness — whether a given *point*
+(identified by the caller's key tuple) fires.  The same seed, rates and key
+always give the same decision, so a chaos run is replayable; retries pass
+their attempt number in the key, so a retried task draws fresh decisions
+instead of crashing forever.
+
+Supported fault kinds:
+
+``worker_crash``
+    The process-pool backend's worker calls ``os._exit`` mid-task (a real
+    process death, surfacing as ``BrokenProcessPool`` in the driver); the
+    thread backend simulates it by raising :class:`InjectedWorkerCrash`.
+``task_slow``
+    The kernel chunk loop sleeps :attr:`FaultInjector.slow_seconds` before a
+    chunk, simulating a straggling worker.
+``spill_torn``
+    A freshly written storage segment is truncated after the atomic rename,
+    simulating a torn write that slipped past the crash window — the read
+    path must detect it (``CorruptSegmentError``), never serve it.
+
+The injector is installed process-globally (:func:`install`) so deep layers
+(kernels, storage writers, pool workers) reach it without plumbing;
+:func:`suppressed` masks it for the current thread, which is how bounded
+retry loops guarantee their final attempt runs fault-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "InjectedWorkerCrash",
+    "active",
+    "install",
+    "maybe_slow",
+    "parse_fault_spec",
+    "suppressed",
+    "uninstall",
+]
+
+#: Fault kinds accepted by :func:`parse_fault_spec` / :class:`FaultInjector`.
+FAULT_KINDS: tuple[str, ...] = ("worker_crash", "task_slow", "spill_torn")
+
+#: Default sleep injected per fired ``task_slow`` point.
+DEFAULT_SLOW_SECONDS: float = 0.02
+
+
+class InjectedWorkerCrash(ReproError):
+    """A simulated worker death (thread backend's stand-in for a process
+    crash).  Execution backends retry it like a real crash; it must never
+    escape to a caller as a query failure."""
+
+
+class FaultInjector:
+    """Seeded, rate-configurable fault decisions with firing accounting.
+
+    Parameters
+    ----------
+    rates:
+        ``{kind: probability}`` with probabilities in ``[0, 1]``; kinds not
+        listed never fire.
+    seed:
+        Decision seed.  Same seed + same key = same decision, every run.
+    slow_seconds:
+        Sleep duration of one fired ``task_slow`` point.
+    """
+
+    def __init__(
+        self,
+        rates: dict | None = None,
+        seed: int = 0,
+        slow_seconds: float = DEFAULT_SLOW_SECONDS,
+    ) -> None:
+        rates = dict(rates or {})
+        for kind, rate in rates.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+                )
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        if slow_seconds < 0:
+            raise ValueError("slow_seconds must be non-negative")
+        self.rates = {kind: float(rate) for kind, rate in rates.items() if rate > 0}
+        self.seed = int(seed)
+        self.slow_seconds = float(slow_seconds)
+        self._fired: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._checked: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._lock = threading.Lock()
+        # Fallback entropy for callers with no natural key: an atomic draw
+        # counter, deterministic for a fixed sequence of unkeyed calls.
+        self._draws = itertools.count()
+
+    def rate(self, kind: str) -> float:
+        """Return the configured firing rate of one kind (0 when unset)."""
+        return self.rates.get(kind, 0.0)
+
+    def should_fire(self, kind: str, *key) -> bool:
+        """Decide (without accounting) whether the point ``(kind, key)`` fires.
+
+        The decision hashes ``(seed, kind, key)`` — include the attempt
+        number in ``key`` so retries of the same task re-draw.
+        """
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        if not key:
+            key = (next(self._draws),)
+        digest = hashlib.blake2b(
+            repr((self.seed, kind, key)).encode(), digest_size=8
+        ).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        return draw < rate
+
+    def fire(self, kind: str, *key) -> bool:
+        """Decide and account one injection point; returns whether it fired."""
+        with self._lock:
+            self._checked[kind] += 1
+        if not self.should_fire(kind, *key):
+            return False
+        with self._lock:
+            self._fired[kind] += 1
+        return True
+
+    def stats(self) -> dict:
+        """Return a JSON-friendly summary of configured rates and firings."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rates": dict(self.rates),
+                "fired": {k: v for k, v in self._fired.items() if v},
+                "checked": {k: v for k, v in self._checked.items() if v},
+            }
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(rates={self.rates}, seed={self.seed})"
+
+
+def parse_fault_spec(spec: str) -> dict[str, float]:
+    """Parse ``"worker_crash:0.1,task_slow:0.05,spill_torn:1"`` into rates.
+
+    Raises ``ValueError`` on unknown kinds or rates outside ``[0, 1]`` (the
+    CLI surfaces it as a usage error).
+    """
+    rates: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, value = part.partition(":")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        try:
+            rate = float(value.strip()) if sep else 1.0
+        except ValueError:
+            raise ValueError(f"invalid fault rate {value!r} for {kind!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        rates[kind] = rate
+    return rates
+
+
+# ---------------------------------------------------------------------- #
+# Process-global installation
+# ---------------------------------------------------------------------- #
+_installed: FaultInjector | None = None
+_suppress = threading.local()
+
+
+def install(injector: FaultInjector | None) -> FaultInjector | None:
+    """Install ``injector`` process-wide (``None`` uninstalls); returns it."""
+    global _installed
+    _installed = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the installed injector."""
+    install(None)
+
+
+def active() -> FaultInjector | None:
+    """Return the installed injector, unless suppressed on this thread."""
+    if getattr(_suppress, "depth", 0) > 0:
+        return None
+    return _installed
+
+
+@contextmanager
+def suppressed():
+    """Mask the installed injector for the current thread.
+
+    Bounded retry loops wrap their final attempt in this so recovery paths
+    are guaranteed fault-free — availability may never depend on a lucky
+    draw when the configured rate is 1.0.
+    """
+    _suppress.depth = getattr(_suppress, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _suppress.depth -= 1
+
+
+def maybe_slow(*key) -> bool:
+    """Fire one ``task_slow`` point: sleep and return ``True`` when it fires.
+
+    Cheap no-op (one global read) when no injector is installed — this is
+    the hook the kernel chunk loop calls per chunk span.
+    """
+    injector = active()
+    if injector is None or "task_slow" not in injector.rates:
+        return False
+    if not injector.fire("task_slow", *key):
+        return False
+    time.sleep(injector.slow_seconds)
+    return True

@@ -32,6 +32,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro import faults
 from repro.data.storage import block_spans, madvise_dontneed
 from repro.geometry.band import BandCondition
 from repro.local_join.base import empty_pairs
@@ -150,6 +151,9 @@ def chunk_spans(counts: np.ndarray, candidate_cap: int) -> Iterator[tuple[int, i
         consumed = int(cumulative[start - 1]) if start else 0
         stop = int(np.searchsorted(cumulative, consumed + candidate_cap, side="right"))
         stop = min(max(stop, start + 1), n)
+        # Chaos hook: a fired ``task_slow`` point stalls this chunk,
+        # simulating a straggling worker mid-kernel.
+        faults.maybe_slow()
         yield start, stop
         start = stop
 

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.exceptions import ServiceError, ServiceOverloadError
 from repro.obs.logconf import get_logger
 from repro.obs.workload.recorder import pair_fingerprint
@@ -60,8 +61,12 @@ class ReplayReport:
     verified: int = 0
     skipped: int = 0
     rejected: int = 0
+    degraded: int = 0
     mismatches: list[ReplayMismatch] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Firing statistics of the installed fault injector, when the replay
+    #: ran under chaos (``repro-bandjoin replay --inject-fault ...``).
+    fault_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -74,8 +79,10 @@ class ReplayReport:
             f"{self.registered} register, {self.appended} append, "
             f"{self.prepared} prepare, {self.queries} queries "
             f"({self.verified} fingerprint-verified, {self.skipped} skipped, "
-            f"{self.rejected} rejected)",
+            f"{self.rejected} rejected, {self.degraded} stale-degraded)",
         ]
+        if self.fault_stats is not None:
+            lines.append(f"fault injection: {self.fault_stats}")
         if self.mismatches:
             lines.append(f"FINGERPRINT MISMATCHES: {len(self.mismatches)}")
             for mismatch in self.mismatches[:10]:
@@ -169,6 +176,12 @@ def replay_events(events, service, speed: float | None = None) -> ReplayReport:
                 # not a determinism failure.
                 report.rejected += 1
                 continue
+            if getattr(result, "stale", False):
+                # A degraded (version-stale) answer is honest about being
+                # stale, so it must never be held against the fingerprint
+                # of the fresh captured result.
+                report.degraded += 1
+                continue
             expected = event.get("fingerprint")
             if expected is None:
                 report.skipped += 1
@@ -188,6 +201,9 @@ def replay_events(events, service, speed: float | None = None) -> ReplayReport:
                 )
         # Unknown event types (slo_breach, future additions) replay as no-ops.
     report.wall_seconds = time.perf_counter() - start
+    injector = faults.active()
+    if injector is not None:
+        report.fault_stats = injector.stats()
     if report.mismatches:
         logger.warning(
             "replay diverged: %d of %d verified queries mismatched",
@@ -211,6 +227,8 @@ def replay_log(path, service=None, config=None, speed: float | None = None) -> R
     if service is not None:
         return replay_events(events, service, speed=speed)
     if config is None:
-        config = ServiceConfig(capture=False, compaction="sync")
+        # degraded_mode="reject" keeps verification sound: a stale-served
+        # answer could never match the captured fresh fingerprint.
+        config = ServiceConfig(capture=False, compaction="sync", degraded_mode="reject")
     with BandJoinService(config=config) as fresh:
         return replay_events(events, fresh, speed=speed)

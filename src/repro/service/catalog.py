@@ -31,6 +31,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro import faults
 from repro.config import (
     DEFAULT_SPILL_THRESHOLD_BYTES,
     DEFAULT_STALENESS_THRESHOLD,
@@ -39,9 +40,21 @@ from repro.config import (
     STORAGE_BACKENDS,
 )
 from repro.data.relation import Relation
-from repro.exceptions import ServiceError
+from repro.data.storage import recover_spill_dir
+from repro.exceptions import CorruptSegmentError, ServiceError
+from repro.obs.globals import registry as obs_registry
 
 __all__ = ["RelationSnapshot", "RelationCatalog"]
+
+#: Spill attempts before giving up (the last one runs fault-suppressed).
+MAX_SPILL_ATTEMPTS = 3
+
+
+def _recovery_counter():
+    return obs_registry().counter(
+        "repro_segment_recoveries_total",
+        "corrupt segment writes detected and retried into a fresh directory",
+    )
 
 
 def _as_relation(name: str, data) -> Relation:
@@ -204,6 +217,10 @@ class RelationCatalog:
                 tempfile.mkdtemp(prefix="repro-catalog-") if spill_dir is None else spill_dir
             )
             os.makedirs(self.spill_dir, exist_ok=True)
+            # Startup recovery: a crash mid-spill leaves ``*.tmp`` segment
+            # files behind (finished segments were atomically renamed, so
+            # anything still tmp-named is garbage by definition).
+            recover_spill_dir(self.spill_dir)
         else:
             self.spill_dir = spill_dir
         self._lock = threading.Lock()
@@ -226,7 +243,39 @@ class RelationCatalog:
             or relation.nbytes < self.spill_threshold_bytes
         ):
             return relation
-        return relation.spill(self._spill_path(relation.name))
+        return self._spill_with_retry(relation, relation.name, "register")
+
+    def _spill_with_retry(self, relation: Relation, label: str, stage: str) -> Relation:
+        """Spill ``relation`` to segments, retrying torn writes (see below)."""
+        return self._retry_segment_write(relation.spill, label, stage)
+
+    def _retry_segment_write(self, write, label: str, stage: str):
+        """Run ``write(path)`` against fresh segment directories until it sticks.
+
+        Segment writes validate on finish, so a torn write (crash window,
+        full disk, injected ``spill_torn`` fault) surfaces as
+        :class:`CorruptSegmentError` here rather than as wrong query
+        answers later.  Each retry targets a *fresh* directory — the bad
+        one is removed — and the final attempt runs fault-suppressed, so
+        availability never depends on the injector's draw.
+        """
+        last_error: CorruptSegmentError | None = None
+        for attempt in range(MAX_SPILL_ATTEMPTS):
+            path = self._spill_path(label)
+            final = attempt == MAX_SPILL_ATTEMPTS - 1
+            try:
+                if final:
+                    with faults.suppressed():
+                        return write(path)
+                return write(path)
+            except CorruptSegmentError as exc:
+                last_error = exc
+                _recovery_counter().inc(stage=stage)
+                shutil.rmtree(path, ignore_errors=True)
+        raise CorruptSegmentError(
+            f"segment write for {label!r} failed after {MAX_SPILL_ATTEMPTS} "
+            f"attempts: {last_error}"
+        ) from last_error
 
     def cleanup(self) -> None:
         """Remove the catalog-owned spill directory (call after shutdown).
@@ -350,12 +399,16 @@ class RelationCatalog:
                 return current
             base, delta = current.base, current.delta
             if base.storage == "mmap":
-                delta = delta.spill(self._spill_path(f"{name}-delta"))
+                delta = self._retry_segment_write(
+                    delta.spill, f"{name}-delta", "compact"
+                )
                 merged = base.concat(delta)
                 if merged.segment_count > MAX_SEGMENTS_BEFORE_REWRITE:
                     merged = Relation.from_store(
                         name,
-                        merged.store.compacted(self._spill_path(f"{name}-compact")),
+                        self._retry_segment_write(
+                            merged.store.compacted, f"{name}-compact", "compact"
+                        ),
                     )
             else:
                 merged = self._maybe_spill(base.concat(delta))

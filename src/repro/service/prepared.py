@@ -53,6 +53,7 @@ PATH_PLAN_CACHE = "plan_cache"      # cached plan + full join
 PATH_DELTA = "delta"                # cached base result + delta joins
 PATH_RESULT_CACHE = "result_cache"  # cached materialized result
 PATH_MICRO_BATCH = "micro_batch"    # filtered from a batched wide dispatch
+PATH_STALE = "stale"                # version-stale cached result (degraded mode)
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,10 @@ class QueryResult:
     seconds: float
     optimization_seconds: float = 0.0
     job: JobStats | None = None
+    #: Degraded-mode marker: the result answers *older* catalog versions
+    #: than current; ``version_lag`` is the summed version distance.
+    stale: bool = False
+    version_lag: int = 0
 
     @property
     def n_pairs(self) -> int:
@@ -91,6 +96,9 @@ class QueryResult:
             "seconds": self.seconds,
             "optimization_seconds": self.optimization_seconds,
         }
+        if self.stale:
+            info["stale"] = True
+            info["version_lag"] = self.version_lag
         if sample > 0:
             info["sample"] = self.pairs[:sample].tolist()
         return info
@@ -543,6 +551,33 @@ class PreparedQuery:
                 self._base_results.popitem(last=False)
                 self.result_cache_stats.evictions += 1
         return result, False
+
+    def stale_result(self, ekey: tuple) -> QueryResult | None:
+        """Return the freshest cached result for ``ekey``, whatever its versions.
+
+        The scheduler's degraded mode calls this under overload: serving a
+        slightly version-stale answer (explicitly marked ``stale`` with its
+        version lag) beats rejecting the request outright.  Returns ``None``
+        when no execution of this epsilon binding was ever cached — staleness
+        is bounded by what the cache holds, never fabricated.
+        """
+        try:
+            cur_s, cur_t = self.current_versions()
+        except ServiceError:
+            return None
+        with self._lock:
+            candidates = [
+                result
+                for (sv, tv, key), result in self._results.items()
+                if key == ekey
+            ]
+        if not candidates:
+            return None
+        hit = max(candidates, key=lambda r: (r.s_version + r.t_version))
+        lag = max(0, cur_s - hit.s_version) + max(0, cur_t - hit.t_version)
+        return replace(
+            hit, path=PATH_STALE, stale=True, version_lag=lag, seconds=0.0
+        )
 
     # ------------------------------------------------------------------ #
     # Result-cache management

@@ -39,10 +39,17 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
 from repro.config import DEFAULT_MAX_BATCH, DEFAULT_MAX_PENDING, DEFAULT_SCHEDULER_WORKERS
-from repro.exceptions import ServiceError, ServiceOverloadError
+from repro.engine import deadline as deadline_mod
+from repro.exceptions import (
+    CorruptSegmentError,
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.obs import (
     DEFAULT_TIME_BUCKETS,
     NOOP_SPAN,
@@ -64,6 +71,22 @@ from repro.service.prepared import (
 __all__ = ["QueryScheduler", "SchedulerMetrics"]
 
 logger = get_logger(__name__)
+
+#: Failure causes reported by ``repro_query_failures_total``.
+FAILURE_CAUSES = ("overload", "worker_crash", "timeout", "corrupt_segment", "internal")
+
+
+def _failure_cause(exc: BaseException) -> str:
+    """Classify an execution failure for the labeled failure counter."""
+    if isinstance(exc, ServiceOverloadError):
+        return "overload"
+    if isinstance(exc, DeadlineExceededError):
+        return "timeout"
+    if isinstance(exc, BrokenProcessPool):
+        return "worker_crash"
+    if isinstance(exc, CorruptSegmentError):
+        return "corrupt_segment"
+    return "internal"
 
 
 class SchedulerMetrics:
@@ -96,6 +119,15 @@ class SchedulerMetrics:
             "repro_process_peak_rss_bytes",
             "peak resident set size of the serving process",
         )
+        self._failures = self.registry.counter(
+            "repro_query_failures_total",
+            "request failures classified by cause "
+            "(overload/worker_crash/timeout/corrupt_segment/internal)",
+        )
+        self._degraded = self.registry.counter(
+            "repro_degraded_responses_total",
+            "requests answered with a version-stale cached result under overload",
+        )
         self._latencies: deque = deque(maxlen=window)  # (queue_s, exec_s, total_s)
 
     # -- write paths ---------------------------------------------------- #
@@ -107,6 +139,13 @@ class SchedulerMetrics:
 
     def record_rejected(self) -> None:
         self._events.inc(event="rejected")
+        # Admission rejections are the scheduler's overload failures —
+        # classified here even when degraded mode still answers the caller.
+        self._failures.inc(cause="overload")
+
+    def record_degraded(self) -> None:
+        self._events.inc(event="degraded")
+        self._degraded.inc()
 
     def record_batched(self, count: int) -> None:
         self._events.inc(count, event="batched")
@@ -122,8 +161,9 @@ class SchedulerMetrics:
         with self._lock:
             self._latencies.append((queue_seconds, exec_seconds, total))
 
-    def record_failure(self) -> None:
+    def record_failure(self, cause: str = "internal") -> None:
         self._events.inc(event="failed")
+        self._failures.inc(cause=cause)
 
     def sample_rss(self) -> None:
         """Refresh the peak-RSS gauge (called after each executed batch)."""
@@ -162,8 +202,20 @@ class SchedulerMetrics:
         return self._event("rejected")
 
     @property
+    def degraded(self) -> int:
+        return self._event("degraded")
+
+    @property
     def paths(self) -> dict[str, int]:
         return {labels.get("path", ""): int(count) for labels, count in self._paths.items()}
+
+    @property
+    def failures(self) -> dict[str, int]:
+        """Return request failures keyed by classified cause."""
+        return {
+            labels.get("cause", ""): int(count)
+            for labels, count in self._failures.items()
+        }
 
     def latency_percentiles(self) -> dict:
         """Return p50/p95/p99 of total latency plus mean queue wait (seconds)."""
@@ -187,6 +239,8 @@ class SchedulerMetrics:
             "deduplicated": self.deduplicated,
             "batched": self.batched,
             "rejected": self.rejected,
+            "degraded": self.degraded,
+            "failures": self.failures,
             "paths": self.paths,
             "peak_rss_bytes": self.peak_rss_bytes,
         }
@@ -219,6 +273,7 @@ class _Request:
     started_at: float = 0.0
     submitted_wall: float = 0.0
     span: object = NOOP_SPAN  # telemetry "query" span (NOOP when disabled)
+    deadline_at: float | None = None  # monotonic; None = unbounded
 
 
 class QueryScheduler:
@@ -255,6 +310,9 @@ class QueryScheduler:
         registry: MetricsRegistry | None = None,
         recorder=None,
         calibration=None,
+        default_deadline: float | None = None,
+        degraded_mode: str = "stale",
+        drain_timeout: float = 5.0,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -264,9 +322,20 @@ class QueryScheduler:
             raise ServiceError("max_batch must be at least 1")
         if max_estimated_pairs is not None and max_estimated_pairs < 1:
             raise ServiceError("max_estimated_pairs must be positive when set")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServiceError("default_deadline must be positive seconds when set")
+        if degraded_mode not in ("stale", "reject"):
+            raise ServiceError(
+                f"degraded_mode must be 'stale' or 'reject', got {degraded_mode!r}"
+            )
+        if drain_timeout < 0:
+            raise ServiceError("drain_timeout must be non-negative")
         self.max_pending = max_pending
         self.max_batch = max_batch
         self.max_estimated_pairs = max_estimated_pairs
+        self.default_deadline = default_deadline
+        self.degraded_mode = degraded_mode
+        self.drain_timeout = drain_timeout
         self.metrics = SchedulerMetrics(registry=registry)
         self.recorder = recorder
         self.calibration = calibration
@@ -296,7 +365,7 @@ class QueryScheduler:
     # ------------------------------------------------------------------ #
     # Submission API
     # ------------------------------------------------------------------ #
-    def submit(self, prepared: PreparedQuery, epsilons=None) -> Future:
+    def submit(self, prepared: PreparedQuery, epsilons=None, deadline=None) -> Future:
         """Enqueue one query; returns a future resolving to a QueryResult.
 
         Identical in-flight requests share one future (single-flight); a
@@ -305,9 +374,21 @@ class QueryScheduler:
         ``max_estimated_pairs``.  The catalog versions at submit time are
         part of the request identity, so a query following an acknowledged
         append never attaches to an execution over the pre-append data.
+
+        ``deadline`` (seconds; falls back to ``default_deadline``) bounds
+        the request end to end: expired-in-queue requests fail with
+        :class:`DeadlineExceededError`, and the remaining budget propagates
+        into execution where backends bound their waits by it.
+
+        Under overload with ``degraded_mode="stale"``, a request whose
+        epsilon binding has *any* cached result is answered from it —
+        explicitly marked stale with its version lag — instead of rejected.
+        The rejection is still counted (the execution was refused); the
+        degraded response is what the caller gets in its place.
         """
         ekey = prepared.epsilon_key(epsilons)
         key = (prepared.key, ekey, prepared.current_versions())
+        deadline_at = self._resolve_deadline(deadline)
         try:
             with self._work_ready:
                 existing = self._admit_locked(key)
@@ -315,8 +396,11 @@ class QueryScheduler:
                     self._record_outcome(prepared, ekey, "deduplicated")
                     return existing
                 if self.max_estimated_pairs is None:
-                    return self._enqueue_locked(prepared, ekey, key)
+                    return self._enqueue_locked(prepared, ekey, key, deadline_at)
         except ServiceOverloadError:
+            degraded = self._degraded_future(prepared, ekey)
+            if degraded is not None:
+                return degraded
             self._record_outcome(prepared, ekey, "rejected", reason="saturated")
             raise
         # Priced outside the scheduler lock (the probe reads the catalog) and
@@ -329,6 +413,9 @@ class QueryScheduler:
                 "rejected %s: estimated %.0f pairs over limit %d",
                 _query_label(prepared), estimate, self.max_estimated_pairs,
             )
+            degraded = self._degraded_future(prepared, ekey)
+            if degraded is not None:
+                return degraded
             self._record_outcome(prepared, ekey, "rejected", reason="estimated_pairs")
             raise ServiceOverloadError(
                 f"estimated output of ~{estimate:,.0f} pairs exceeds the "
@@ -341,10 +428,53 @@ class QueryScheduler:
                 if existing is not None:
                     self._record_outcome(prepared, ekey, "deduplicated")
                     return existing
-                return self._enqueue_locked(prepared, ekey, key)
+                return self._enqueue_locked(prepared, ekey, key, deadline_at)
         except ServiceOverloadError:
+            degraded = self._degraded_future(prepared, ekey)
+            if degraded is not None:
+                return degraded
             self._record_outcome(prepared, ekey, "rejected", reason="saturated")
             raise
+
+    def _resolve_deadline(self, deadline) -> float | None:
+        """Turn a relative deadline (seconds) into a monotonic timestamp."""
+        seconds = deadline if deadline is not None else self.default_deadline
+        if seconds is None:
+            return None
+        seconds = float(seconds)
+        if seconds <= 0:
+            raise ServiceError("deadline must be positive seconds")
+        return time.monotonic() + seconds
+
+    def _degraded_future(self, prepared, ekey) -> Future | None:
+        """Under overload, try answering from a version-stale cached result.
+
+        Returns a pre-resolved future holding the stale-marked result, or
+        ``None`` when degraded mode is off, the prepared object cannot serve
+        stale results (test stubs), or nothing usable is cached — the caller
+        then rejects as before.  Correctness note: the result is *marked*
+        (``stale``/``version_lag``), never silently passed off as fresh.
+        """
+        if self.degraded_mode != "stale":
+            return None
+        stale_fn = getattr(prepared, "stale_result", None)
+        if stale_fn is None:
+            return None
+        try:
+            result = stale_fn(ekey)
+        except Exception:  # noqa: BLE001 - degrade is best-effort by definition
+            return None
+        if result is None:
+            return None
+        self.metrics.record_degraded()
+        logger.info(
+            "degraded %s: serving stale cached result (version lag %d)",
+            _query_label(prepared), result.version_lag,
+        )
+        self._record_outcome(prepared, ekey, "degraded")
+        future: Future = Future()
+        future.set_result(result)
+        return future
 
     def _admit_locked(self, key: tuple) -> Future | None:
         """Admission gate (caller holds the lock): returns the in-flight
@@ -365,7 +495,13 @@ class QueryScheduler:
             )
         return None
 
-    def _enqueue_locked(self, prepared: PreparedQuery, ekey: tuple, key: tuple) -> Future:
+    def _enqueue_locked(
+        self,
+        prepared: PreparedQuery,
+        ekey: tuple,
+        key: tuple,
+        deadline_at: float | None = None,
+    ) -> Future:
         """Enqueue an admitted request (caller holds the lock)."""
         request = _Request(
             prepared=prepared,
@@ -378,6 +514,7 @@ class QueryScheduler:
             # request's trace; ended by the worker thread after set_result
             # readiness, or on failure/shutdown.
             span=tracer().span("query", query=_query_label(prepared)),
+            deadline_at=deadline_at,
         )
         self._inflight[key] = request
         self._queue.append(request)
@@ -385,9 +522,11 @@ class QueryScheduler:
         self._work_ready.notify()
         return request.future
 
-    def query(self, prepared: PreparedQuery, epsilons=None, timeout=None) -> QueryResult:
+    def query(
+        self, prepared: PreparedQuery, epsilons=None, timeout=None, deadline=None
+    ) -> QueryResult:
         """Synchronous submit-and-wait."""
-        return self.submit(prepared, epsilons).result(timeout)
+        return self.submit(prepared, epsilons, deadline=deadline).result(timeout)
 
     # ------------------------------------------------------------------ #
     # Workload capture
@@ -497,8 +636,46 @@ class QueryScheduler:
                 with self._work_ready:
                     for request in batch:
                         self._inflight.pop(request.key, None)
+                    # Wake a graceful close() waiting for in-flight work to
+                    # drain (and idle peers re-checking the shutdown flag).
+                    self._work_ready.notify_all()
+
+    def _fail_request(self, request: _Request, exc: Exception, cause: str) -> None:
+        """Resolve one request's future with a classified failure."""
+        self.metrics.record_failure(cause=cause)
+        if self.recorder is not None:
+            self.recorder.record_query(
+                query=_query_name(request.prepared),
+                epsilons=request.ekey,
+                outcome="failed",
+                s_name=getattr(request.prepared, "s_name", "?"),
+                t_name=getattr(request.prepared, "t_name", "?"),
+                ts=request.submitted_wall,
+                error=str(exc),
+            )
+        request.span.set(error=str(exc))
+        request.span.end()
+        request.future.set_exception(exc)
 
     def _execute_batch(self, batch: list[_Request]) -> None:
+        # Deadlines expired while queued fail fast — a worker slot is never
+        # spent computing an answer the caller has already given up on.
+        live: list[_Request] = []
+        for request in batch:
+            if (
+                request.deadline_at is not None
+                and time.monotonic() >= request.deadline_at
+            ):
+                self._fail_request(
+                    request,
+                    DeadlineExceededError("deadline expired while queued"),
+                    "timeout",
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        batch = live
         prepared = batch[0].prepared
         head = batch[0]
         for request in batch:
@@ -515,29 +692,24 @@ class QueryScheduler:
             if head.span.context is not None
             else NOOP_SPAN
         )
+        # One dispatch serves the whole batch, so it runs under the *most
+        # permissive* member deadline (any unbounded member unbinds it);
+        # members whose own deadline lapsed meanwhile still fail below.
+        deadlines = [request.deadline_at for request in batch]
+        batch_deadline = None if any(d is None for d in deadlines) else max(deadlines)
         try:
-            with exec_span:
+            with exec_span, deadline_mod.deadline_scope(batch_deadline):
                 if len(batch) == 1:
                     results = [prepared.execute(head.ekey)]
                 else:
                     results = self._dispatch_batch(prepared, batch)
         except Exception as exc:  # noqa: BLE001 - failures propagate via futures
-            logger.warning("query %s failed: %s", _query_label(prepared), exc)
+            cause = _failure_cause(exc)
+            logger.warning(
+                "query %s failed (%s): %s", _query_label(prepared), cause, exc
+            )
             for request in batch:
-                self.metrics.record_failure()
-                if self.recorder is not None:
-                    self.recorder.record_query(
-                        query=_query_name(prepared),
-                        epsilons=request.ekey,
-                        outcome="failed",
-                        s_name=getattr(prepared, "s_name", "?"),
-                        t_name=getattr(prepared, "t_name", "?"),
-                        ts=request.submitted_wall,
-                        error=str(exc),
-                    )
-                request.span.set(error=str(exc))
-                request.span.end()
-                request.future.set_exception(exc)
+                self._fail_request(request, exc, cause)
             return
         done = time.perf_counter()
         for request, result in zip(batch, results):
@@ -606,11 +778,26 @@ class QueryScheduler:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work; fail queued requests and join the workers."""
+        """Stop accepting work, drain in-flight requests, join the workers.
+
+        Shutdown is graceful: new admissions are blocked immediately, but
+        queued and executing requests get up to ``drain_timeout`` seconds to
+        finish normally (workers keep serving the queue).  Whatever is still
+        queued when the budget runs out fails with
+        ``ServiceError("scheduler shut down")``.
+        """
         with self._work_ready:
             if self._shutdown:
                 return
             self._shutdown = True
+            self._work_ready.notify_all()  # idle workers must see the flag
+            if wait and self.drain_timeout > 0:
+                drain_until = time.monotonic() + self.drain_timeout
+                while self._inflight:
+                    budget = drain_until - time.monotonic()
+                    if budget <= 0:
+                        break
+                    self._work_ready.wait(budget)
             abandoned = list(self._queue)
             self._queue.clear()
             for request in abandoned:

@@ -83,7 +83,12 @@ def handle_request(service: BandJoinService, request: dict) -> dict:
     if op == "query":
         # Epsilon lists (including [left, right] pairs) pass through as-is;
         # PreparedQuery normalization accepts sequences directly.
-        result = service.query(_require(request, "query"), request.get("epsilons"))
+        deadline = request.get("deadline")
+        result = service.query(
+            _require(request, "query"),
+            request.get("epsilons"),
+            deadline=float(deadline) if deadline is not None else None,
+        )
         return {"ok": True, **result.describe(sample=int(request.get("sample", 0)))}
     if op == "catalog":
         return {"ok": True, "catalog": service.catalog.describe()}

@@ -23,6 +23,7 @@ import threading
 import numpy as np
 
 import repro.obs as obs
+from repro import faults
 from repro.config import ServiceConfig
 from repro.engine.engine import ParallelJoinEngine
 from repro.engine.plan_cache import PlanCache
@@ -76,6 +77,18 @@ class BandJoinService:
         self.config = config if config is not None else ServiceConfig()
         if self.config.telemetry:
             obs.enable()
+        #: Deterministic chaos: the configured fault spec installs a
+        #: process-wide injector for this service's lifetime (uninstalled by
+        #: :meth:`close`); pool workers re-install it from initargs.
+        self._fault_injector = None
+        if self.config.inject_faults:
+            self._fault_injector = faults.install(
+                faults.FaultInjector(
+                    faults.parse_fault_spec(self.config.inject_faults),
+                    seed=self.config.fault_seed,
+                )
+            )
+            logger.info("fault injection active: %r", self._fault_injector)
         if self.config.trace_ring_size is not None:
             obs.tracer().resize(self.config.trace_ring_size)
         #: Workload capture (``None`` when ``config.capture`` is off); the
@@ -130,6 +143,9 @@ class BandJoinService:
             registry=self.registry,
             recorder=self.recorder,
             calibration=self.calibration,
+            default_deadline=self.config.default_deadline_seconds,
+            degraded_mode=self.config.degraded_mode,
+            drain_timeout=self.config.shutdown_drain_seconds,
         )
         self.partitioner = partitioner
         self._prepared: dict[str, PreparedQuery] = {}
@@ -272,15 +288,23 @@ class BandJoinService:
         with self._prepared_lock:
             return dict(self._prepared)
 
-    def query(self, query_name: str, epsilons=None, timeout=None) -> QueryResult:
-        """Answer one prepared query synchronously (through the scheduler)."""
-        self._check_open()
-        return self.scheduler.query(self.prepared(query_name), epsilons, timeout=timeout)
+    def query(
+        self, query_name: str, epsilons=None, timeout=None, deadline=None
+    ) -> QueryResult:
+        """Answer one prepared query synchronously (through the scheduler).
 
-    def submit(self, query_name: str, epsilons=None):
+        ``deadline`` (seconds, falling back to the configured
+        ``default_deadline_seconds``) bounds the request end to end.
+        """
+        self._check_open()
+        return self.scheduler.query(
+            self.prepared(query_name), epsilons, timeout=timeout, deadline=deadline
+        )
+
+    def submit(self, query_name: str, epsilons=None, deadline=None):
         """Enqueue one prepared query; returns a future (asynchronous callers)."""
         self._check_open()
-        return self.scheduler.submit(self.prepared(query_name), epsilons)
+        return self.scheduler.submit(self.prepared(query_name), epsilons, deadline=deadline)
 
     def explain(self, query_name: str, epsilons=None, analyze: bool = False):
         """EXPLAIN (ANALYZE) one prepared query.
@@ -401,8 +425,19 @@ class BandJoinService:
         }
 
     def health(self) -> dict:
-        """Evaluate every configured SLO now and return the health report."""
-        return self.monitor.health()
+        """Evaluate every configured SLO now and return the health report.
+
+        Beyond the SLO verdicts, the report carries the classified failure
+        counters (``repro_query_failures_total`` by cause), the degraded
+        (stale-served) response count, and — when chaos is configured — the
+        fault injector's firing statistics.
+        """
+        report = self.monitor.health()
+        report["failures"] = self.scheduler.metrics.failures
+        report["degraded_responses"] = self.scheduler.metrics.degraded
+        if self._fault_injector is not None:
+            report["fault_injection"] = self._fault_injector.stats()
+        return report
 
     def workload_snapshot(self) -> Workload:
         """Summarize the captured traffic currently in the recorder ring."""
@@ -444,6 +479,8 @@ class BandJoinService:
         self.catalog.cleanup()
         if self.recorder is not None:
             self.recorder.close()
+        if self._fault_injector is not None and faults.active() is self._fault_injector:
+            faults.uninstall()
 
     def __enter__(self) -> "BandJoinService":
         return self
